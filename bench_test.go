@@ -1,0 +1,114 @@
+// Package repro's top-level benchmarks regenerate the paper's evaluation
+// artifacts (one benchmark per table/figure). Benchmarks print the
+// rendered tables on the first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the harness and reproduces the evaluation output. Smaller
+// default budgets keep `go test -bench` quick; `cmd/bvf-bench` runs the
+// full-size versions.
+package repro_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+)
+
+// printOnce gates table output so repeated b.N iterations stay readable.
+var printOnce sync.Map
+
+func once(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkTable2BugFinding regenerates Table 2: the RQ1 three-tool bug
+// hunt on bpf-next.
+func BenchmarkTable2BugFinding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(30000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("table2", func() { res.Print(os.Stdout) })
+		if res.Total["BVF"] < 6 {
+			b.Fatalf("BVF found only %d bugs", res.Total["BVF"])
+		}
+	}
+}
+
+// BenchmarkFig6Coverage regenerates Figure 6 and Table 3: coverage curves
+// for the three tools on the three kernel versions.
+func BenchmarkFig6Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(8000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig6", func() { res.Print(os.Stdout) })
+	}
+}
+
+// BenchmarkAcceptanceRate regenerates the §6.3 acceptance-rate comparison
+// (BVF vs Syzkaller vs both Buzzer modes).
+func BenchmarkAcceptanceRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Acceptance(6000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("acceptance", func() { res.Print(os.Stdout) })
+	}
+}
+
+// BenchmarkSanitationOverhead regenerates the §6.4 measurement: execution
+// slowdown and instruction footprint of the sanitizer over the self-test
+// corpus.
+func BenchmarkSanitationOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Overhead(200, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("overhead", func() { res.Print(os.Stdout) })
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation from
+// DESIGN.md: the §4.1 structure variants and the §4.2 footprint rules.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(6000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sres, serr := experiments.SanitizerAblation(150)
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		once("ablation", func() {
+			res.Print(os.Stdout)
+			sres.Print(os.Stdout)
+		})
+	}
+}
+
+// BenchmarkVerification measures the verifier model's throughput over
+// BVF-generated programs (a micro-benchmark supporting the campaign
+// numbers; not a paper table).
+func BenchmarkVerification(b *testing.B) {
+	c := core.NewCampaign(core.CampaignConfig{
+		Source: core.BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 77,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := c.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command bvf-bench regenerates the paper's evaluation tables and figures
+// against the simulated kernel.
+//
+// Usage:
+//
+//	bvf-bench -exp table2     [-budget N] [-seeds N]
+//	bvf-bench -exp fig6       [-budget N] [-repeats N]   (also prints Table 3)
+//	bvf-bench -exp acceptance [-budget N]
+//	bvf-bench -exp overhead   [-corpus N] [-repeats N]
+//	bvf-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2, fig6, table3, acceptance, overhead, ablation, all")
+		budget  = flag.Int("budget", 0, "iteration budget (0 = per-experiment default)")
+		seeds   = flag.Int("seeds", 3, "campaign seeds for table2")
+		repeats = flag.Int("repeats", 3, "repetitions for fig6/overhead")
+		corpus  = flag.Int("corpus", 708, "self-test corpus size for overhead")
+	)
+	flag.Parse()
+
+	pick := func(def int) int {
+		if *budget > 0 {
+			return *budget
+		}
+		return def
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table2":
+			res, err := experiments.Table2(pick(120000), *seeds)
+			fail(err)
+			res.Print(os.Stdout)
+		case "fig6", "table3":
+			res, err := experiments.Fig6(pick(40000), *repeats)
+			fail(err)
+			res.Print(os.Stdout)
+		case "acceptance":
+			res, err := experiments.Acceptance(pick(20000))
+			fail(err)
+			res.Print(os.Stdout)
+		case "overhead":
+			res, err := experiments.Overhead(*corpus, *repeats)
+			fail(err)
+			res.Print(os.Stdout)
+		case "ablation":
+			res, err := experiments.Ablation(pick(20000))
+			fail(err)
+			res.Print(os.Stdout)
+			fmt.Println()
+			sres, serr := experiments.SanitizerAblation(*corpus)
+			fail(serr)
+			sres.Print(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "bvf-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "fig6", "acceptance", "overhead", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

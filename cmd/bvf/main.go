@@ -1,0 +1,113 @@
+// Command bvf runs a BVF fuzzing campaign against the simulated kernel:
+// structured program generation, verification, sanitation, execution, and
+// correctness-bug detection via the two-indicator oracle.
+//
+// Usage:
+//
+//	bvf [-version bpf-next|v6.1|v5.15] [-iters N] [-seed N]
+//	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func main() {
+	var (
+		versionFlag = flag.String("version", "bpf-next", "kernel version: v5.15, v6.1 or bpf-next")
+		iters       = flag.Int("iters", 100000, "fuzzing iterations")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		tool        = flag.String("tool", "bvf", "generator: bvf, syzkaller, buzzer, buzzer-random")
+		noSan       = flag.Bool("nosanitize", false, "disable the BVF sanitation patches")
+		verbose     = flag.Bool("v", false, "print reproducer programs for each bug")
+	)
+	flag.Parse()
+
+	var version kernel.Version
+	switch *versionFlag {
+	case "v5.15":
+		version = kernel.V515
+	case "v6.1":
+		version = kernel.V61
+	case "bpf-next":
+		version = kernel.BPFNext
+	default:
+		fmt.Fprintf(os.Stderr, "bvf: unknown version %q\n", *versionFlag)
+		os.Exit(2)
+	}
+
+	var src core.ProgramSource
+	sanitize := !*noSan
+	mutate := 0
+	switch *tool {
+	case "bvf":
+		src = core.BVFSource(version.HasKfuncs())
+	case "syzkaller":
+		src, sanitize = baseline.Syz{}, false
+	case "buzzer":
+		src, sanitize = baseline.Buzz{Mode: baseline.BuzzALUJmp}, false
+	case "buzzer-random":
+		src, sanitize, mutate = baseline.Buzz{Mode: baseline.BuzzRandom}, false, -1
+	default:
+		fmt.Fprintf(os.Stderr, "bvf: unknown tool %q\n", *tool)
+		os.Exit(2)
+	}
+
+	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d)\n",
+		version, src.Name(), *iters, sanitize, *seed)
+	c := core.NewCampaign(core.CampaignConfig{
+		Source: src, Version: version, Sanitize: sanitize,
+		Seed: *seed, MutateBias: mutate,
+	})
+	st, err := c.Run(*iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvf: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\niterations:       %d\n", st.Iterations)
+	fmt.Printf("accepted:         %d (%.1f%%)\n", st.Accepted, 100*st.AcceptanceRate())
+	fmt.Printf("verifier coverage:%d branches\n", st.Coverage.Count())
+	fmt.Printf("corpus:           %d programs\n", st.CorpusSize)
+	fmt.Printf("bugs found:       %d (%d verifier correctness)\n\n", len(st.Bugs), st.VerifierBugsFound())
+
+	var recs []*core.BugRecord
+	for _, rec := range st.Bugs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].FoundAt < recs[j].FoundAt })
+	for _, rec := range recs {
+		fmt.Printf("  [iter %7d] %-30s indicator%d  %s\n", rec.FoundAt, rec.ID, rec.Indicator, rec.Kind)
+		if *verbose {
+			fmt.Printf("    %s\n", rec.Err)
+			repro := rec.Minimized
+			if repro == nil {
+				repro = rec.Program
+			}
+			if repro != nil {
+				fmt.Println(indent(repro.String(), "    "))
+			}
+		}
+	}
+	if len(st.OtherAnomalies) > 0 {
+		fmt.Printf("\nunattributed anomalies: %v\n", st.OtherAnomalies)
+	}
+}
+
+func indent(s, pre string) string {
+	out := pre
+	for _, c := range s {
+		out += string(c)
+		if c == '\n' {
+			out += pre
+		}
+	}
+	return out
+}

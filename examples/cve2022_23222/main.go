@@ -1,0 +1,91 @@
+// CVE-2022-23222 replay (paper Listing 1): on v5.15-era kernels the
+// verifier allowed arithmetic on nullable map-value pointers. In the null
+// branch it then believes the register equals zero even though the
+// arithmetic shifted it, so the "non-null" branch dereferences a small
+// invalid address at runtime.
+//
+// This example loads the Listing 1 shape into a simulated v5.15 kernel
+// (where it verifies) and a bpf-next kernel (where the fix rejects it),
+// and shows the BVF sanitizer catching the invalid access at runtime.
+//
+// Run with: go run ./examples/cve2022_23222
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+)
+
+func buildProgram(fd int32) *isa.Program {
+	return &isa.Program{
+		Type:          isa.ProgTypeSocketFilter,
+		GPLCompatible: true,
+		Name:          "cve_2022_23222",
+		Insns: []isa.Instruction{
+			isa.LoadMapFD(isa.R1, fd),
+			isa.Mov64Reg(isa.R2, isa.R10),
+			isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+			isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+			isa.Call(helpers.MapLookupElem), // r0 = map_value_or_null
+			// #5: ALU on the nullable pointer — the missing check.
+			isa.Alu64Imm(isa.ALUAdd, isa.R0, 8),
+			// #6: null check *after* the arithmetic. At runtime the
+			// register is 0+8=8, never zero, so the "non-null" branch
+			// runs; the verifier there believes r0 = map_value+8.
+			isa.JumpImm(isa.JNE, isa.R0, 0, 2),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+			// #9: the invalid access: address 8 at runtime.
+			isa.LoadMem(isa.SizeDW, isa.R0, isa.R0, 0),
+			isa.Exit(),
+		},
+	}
+}
+
+func main() {
+	spec := maps.Spec{Type: maps.Hash, KeySize: 8, ValueSize: 48, MaxEntries: 4, Name: "values"}
+
+	// bpf-next: the fix rejects the program outright.
+	fixed := kernel.New(kernel.Config{Version: kernel.BPFNext, Sanitize: true})
+	fd, err := fixed.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fixed.LoadProgram(buildProgram(fd)); err != nil {
+		fmt.Printf("bpf-next (fixed): rejected as expected:\n  %v\n\n", err)
+	} else {
+		log.Fatal("bpf-next accepted the CVE program — fix regressed")
+	}
+
+	// v5.15: the bug is live; the program loads.
+	vuln := kernel.New(kernel.Config{Version: kernel.V515, Sanitize: true})
+	fd2, err := vuln.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := buildProgram(fd2)
+	fmt.Println("program (Listing 1 shape):")
+	fmt.Print(prog)
+	lp, err := vuln.LoadProgram(prog)
+	if err != nil {
+		log.Fatalf("v5.15 rejected the CVE program: %v", err)
+	}
+	fmt.Println("\nv5.15: verifier ACCEPTED the unsafe program (the correctness bug)")
+
+	out := vuln.Run(lp)
+	anomaly := kernel.Classify(out.Err)
+	if anomaly == nil {
+		log.Fatal("no runtime anomaly — oracle failed")
+	}
+	fmt.Printf("runtime: %v\n", anomaly.Err)
+	fmt.Printf("oracle:  indicator #%d (%s)\n", anomaly.Indicator, anomaly.Kind)
+	if id := vuln.Triage(anomaly, prog); id != 0 {
+		fmt.Printf("triage:  attributed to %v\n", id)
+	}
+	fmt.Println("\nCVE-2022-23222 replay OK")
+}

@@ -1,0 +1,95 @@
+// Bug #5 replay (paper Figure 2): a kprobe program attached to the
+// contention_begin tracepoint calls a helper that acquires a contended
+// lock. The contended acquisition fires contention_begin again, which
+// re-enters the program, which acquires the lock again — recursion and an
+// inconsistent lock state, caught by the runtime locking validator
+// (indicator #2).
+//
+// Run with: go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bugs"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+	"repro/internal/trace"
+)
+
+func buildProgram(fd int32) *isa.Program {
+	return &isa.Program{
+		Type:          isa.ProgTypeKprobe,
+		GPLCompatible: true,
+		AttachTo:      trace.ContentionBegin,
+		Name:          "contention_recursion",
+		Insns: []isa.Instruction{
+			isa.LoadMapFD(isa.R1, fd),
+			isa.StoreImm(isa.SizeW, isa.R10, -4, 0), // key
+			isa.Mov64Reg(isa.R2, isa.R10),
+			isa.Alu64Imm(isa.ALUAdd, isa.R2, -4),
+			isa.StoreImm(isa.SizeDW, isa.R10, -16, 7), // value
+			isa.Mov64Reg(isa.R3, isa.R10),
+			isa.Alu64Imm(isa.ALUAdd, isa.R3, -16),
+			isa.Mov64Imm(isa.R4, 0),
+			// Hash-map update takes the bucket lock under contention,
+			// which fires contention_begin — re-entering this program.
+			isa.Call(helpers.MapUpdateElem),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+		},
+	}
+}
+
+func main() {
+	spec := maps.Spec{Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8, Name: "stats"}
+
+	// The fixed verifier refuses lock-taking helpers on this hook.
+	fixed := kernel.New(kernel.Config{Version: kernel.BPFNext, Bugs: bugs.None(), Sanitize: true})
+	fd, err := fixed.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fixed.LoadProgram(buildProgram(fd)); err != nil {
+		fmt.Printf("fixed verifier: rejected as expected:\n  %v\n\n", err)
+	} else {
+		log.Fatal("fixed verifier accepted the program")
+	}
+
+	// With the missing restriction (Bug #5) the program loads and the
+	// Figure 2 recursion unfolds at runtime.
+	buggy := kernel.New(kernel.Config{
+		Version:  kernel.BPFNext,
+		Bugs:     bugs.Of(bugs.Bug5Contention),
+		Sanitize: true,
+	})
+	fd2, err := buggy.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := buildProgram(fd2)
+	fmt.Println("program (attached to contention_begin):")
+	fmt.Print(prog)
+
+	lp, err := buggy.LoadProgram(prog)
+	if err != nil {
+		log.Fatalf("buggy verifier rejected the program: %v", err)
+	}
+	fmt.Println("\nbuggy verifier: ACCEPTED (missing attach restriction)")
+
+	out := buggy.Run(lp)
+	anomaly := kernel.Classify(out.Err)
+	if anomaly == nil {
+		log.Fatal("no runtime anomaly — oracle failed")
+	}
+	fmt.Printf("runtime: %v\n", anomaly.Err)
+	fmt.Printf("oracle:  indicator #%d (%s)\n", anomaly.Indicator, anomaly.Kind)
+	if id := buggy.Triage(anomaly, prog); id != 0 {
+		fmt.Printf("triage:  attributed to %v\n", id)
+	}
+	fmt.Printf("tracepoint fired %d times (recursion)\n", buggy.M.Trace.FireCount(trace.ContentionBegin))
+	fmt.Println("\nBug #5 replay OK")
+}

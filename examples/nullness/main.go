@@ -1,0 +1,94 @@
+// Bug #1 replay (paper Listing 2 / §6.2): the verifier propagates
+// nullness across pointer equality comparisons. PTR_TO_BTF_ID pointers
+// are "trusted" — never marked maybe_null — even though they can be null
+// at runtime, so comparing a nullable map value against one and marking
+// it non-null on the equal edge is wrong: both may be null.
+//
+// Run with: go run ./examples/nullness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bugs"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+)
+
+func buildProgram(fd int32) *isa.Program {
+	return &isa.Program{
+		Type:          isa.ProgTypeRawTracepoint,
+		GPLCompatible: true,
+		Name:          "nullness_propagation",
+		Insns: []isa.Instruction{
+			// #0: r6 = ctx->next_task — typed PTR_TO_BTF_ID (trusted,
+			// no null check required) but NULL at runtime.
+			isa.LoadMem(isa.SizeDW, isa.R6, isa.R1, 8),
+			isa.LoadMapFD(isa.R1, fd),
+			isa.Mov64Reg(isa.R2, isa.R10),
+			isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+			isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+			isa.Call(helpers.MapLookupElem), // r0 = map_value_or_null (null: empty map)
+			// #6: if r0 != r6 skip. Both are null at runtime, so the
+			// equal edge runs; the buggy propagation marks r0 non-null
+			// there because r6 is "known non-null".
+			isa.JumpReg(isa.JNE, isa.R0, isa.R6, 2),
+			// #7: dereference of the "non-null" r0 — a null deref.
+			isa.LoadMem(isa.SizeDW, isa.R0, isa.R0, 0),
+			isa.JumpA(0),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+		},
+	}
+}
+
+func main() {
+	spec := maps.Spec{Type: maps.Hash, KeySize: 8, ValueSize: 48, MaxEntries: 4, Name: "values"}
+
+	// The fixed verifier filters PTR_TO_BTF_ID out of the propagation.
+	fixed := kernel.New(kernel.Config{Version: kernel.BPFNext, Bugs: bugs.None(), Sanitize: true})
+	fd, err := fixed.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fixed.LoadProgram(buildProgram(fd)); err != nil {
+		fmt.Printf("fixed verifier: rejected as expected:\n  %v\n\n", err)
+	} else {
+		log.Fatal("fixed verifier accepted the program")
+	}
+
+	// bpf-next with the bug armed (the paper found it there).
+	buggy := kernel.New(kernel.Config{
+		Version:  kernel.BPFNext,
+		Bugs:     bugs.Of(bugs.Bug1NullnessProp),
+		Sanitize: true,
+	})
+	fd2, err := buggy.CreateMap(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := buildProgram(fd2)
+	fmt.Println("program (Listing 2 shape):")
+	fmt.Print(prog)
+
+	lp, err := buggy.LoadProgram(prog)
+	if err != nil {
+		log.Fatalf("buggy verifier rejected the program: %v", err)
+	}
+	fmt.Println("\nbuggy verifier: ACCEPTED (incorrect nullness propagation)")
+
+	out := buggy.Run(lp)
+	anomaly := kernel.Classify(out.Err)
+	if anomaly == nil {
+		log.Fatal("no runtime anomaly — oracle failed")
+	}
+	fmt.Printf("runtime: %v\n", anomaly.Err)
+	fmt.Printf("oracle:  indicator #%d (%s)\n", anomaly.Indicator, anomaly.Kind)
+	if id := buggy.Triage(anomaly, prog); id != 0 {
+		fmt.Printf("triage:  attributed to %v\n", id)
+	}
+	fmt.Println("\nBug #1 replay OK")
+}

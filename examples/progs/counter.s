@@ -1,0 +1,13 @@
+; A null-checked map counter: the quickstart program in assembly form.
+	r1 = map_fd(3)
+	*(u32 *)(r10 -4) = 0
+	r2 = r10
+	r2 += -4
+	call #1
+	if r0 != 0 goto incr
+	r0 = 0
+	exit
+incr:	r1 = 1
+	lock *(u64 *)(r0 +0) += r1
+	r0 = 0
+	exit

@@ -1,0 +1,10 @@
+; Bounds-checked packet read on a socket filter.
+	r2 = *(u64 *)(r1 24)	; data
+	r3 = *(u64 *)(r1 32)	; data_end
+	r4 = r2
+	r4 += 14		; eth header
+	if r4 > r3 goto drop
+	r0 = *(u8 *)(r2 12)	; ethertype hi
+	exit
+drop:	r0 = 0
+	exit

@@ -1,0 +1,4 @@
+; Deliberately out of bounds: the verifier must reject this one.
+	r6 = map_value(fd=3 off=0)
+	r0 = *(u64 *)(r6 60)
+	exit

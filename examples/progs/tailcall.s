@@ -1,0 +1,6 @@
+; Tail call into the jump table (slot 0 is empty here, so it falls through).
+	r2 = map_fd(6)
+	r3 = 0
+	call #12
+	r0 = 0
+	exit

@@ -1,0 +1,6 @@
+; prog_type: kprobe
+; Read the current task's pid through the trusted BTF pointer.
+	call #158		; bpf_get_current_task_btf
+	r0 = *(u32 *)(r0 8)	; task->pid
+	r0 &= 0xffff
+	exit

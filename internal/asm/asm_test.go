@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+		; a comment-only line
+		r0 = 42          // trailing comment
+		r1 = r10
+		r1 += -8
+		w2 = 7
+		w2 *= 3
+		*(u64 *)(r10 -8) = 0
+		*(u32 *)(r1 +0) = r2
+		r3 = *(u16 *)(r10 -8)
+		r4 = *(s8 *)(r10 -8)
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 42),
+		isa.Mov64Reg(isa.R1, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R1, -8),
+		isa.Mov32Imm(isa.R2, 7),
+		isa.Alu32Imm(isa.ALUMul, isa.R2, 3),
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 0),
+		isa.StoreMem(isa.SizeW, isa.R1, isa.R2, 0),
+		isa.LoadMem(isa.SizeH, isa.R3, isa.R10, -8),
+		isa.LoadMemSX(isa.SizeB, isa.R4, isa.R10, -8),
+		isa.Exit(),
+	}
+	if len(p.Insns) != len(want) {
+		t.Fatalf("got %d insns, want %d:\n%s", len(p.Insns), len(want), p)
+	}
+	for i := range want {
+		if p.Insns[i] != want[i] {
+			t.Errorf("insn %d: got %v, want %v", i, p.Insns[i], want[i])
+		}
+	}
+}
+
+func TestAssembleJumpsAndLabels(t *testing.T) {
+	p, err := Assemble(`
+		r0 = 0
+		if r0 == 0 goto done
+		r0 = 1
+	done:	exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Insns[1].Off; got != 1 {
+		t.Errorf("label offset = %d, want 1", got)
+	}
+	if err := p.Validate(isa.MaxInsns); err != nil {
+		t.Errorf("assembled program invalid: %v", err)
+	}
+
+	// Backward label.
+	p2, err := Assemble(`
+		r0 = 0
+	loop:	r0 += 1
+		if r0 < 10 goto loop
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Insns[2].Off; got != -2 {
+		t.Errorf("backward label offset = %d, want -2", got)
+	}
+}
+
+func TestAssembleLabelAcrossWideInsn(t *testing.T) {
+	// The wide ld_imm64 occupies two slots; the label math must honor
+	// that.
+	p, err := Assemble(`
+		if r0 == 0 goto out
+		r1 = 0x1122334455667788 ll
+		r0 = r1
+	out:	exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Insns[0].Off; got != 3 {
+		t.Errorf("offset across wide insn = %d, want 3", got)
+	}
+	if err := p.Validate(isa.MaxInsns); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestAssemblePseudoAndCalls(t *testing.T) {
+	p, err := Assemble(`
+		r1 = map_fd(3)
+		r2 = map_value(fd=4 off=16)
+		r3 = btf_id(1)
+		call #1
+		call kfunc#103
+		call pc+1
+		exit
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].Src != isa.PseudoMapFD || int32(p.Insns[0].Imm64) != 3 {
+		t.Errorf("map_fd: %+v", p.Insns[0])
+	}
+	if p.Insns[1].Src != isa.PseudoMapValue || uint32(p.Insns[1].Imm64>>32) != 16 {
+		t.Errorf("map_value: %+v", p.Insns[1])
+	}
+	if p.Insns[2].Src != isa.PseudoBTFID {
+		t.Errorf("btf_id: %+v", p.Insns[2])
+	}
+	if !p.Insns[3].IsHelperCall() || p.Insns[3].Imm != 1 {
+		t.Errorf("helper call: %+v", p.Insns[3])
+	}
+	if !p.Insns[4].IsKfuncCall() || p.Insns[4].Imm != 103 {
+		t.Errorf("kfunc call: %+v", p.Insns[4])
+	}
+	if !p.Insns[5].IsPseudoCall() || p.Insns[5].Imm != 1 {
+		t.Errorf("pseudo call: %+v", p.Insns[5])
+	}
+}
+
+func TestAssembleAtomics(t *testing.T) {
+	p, err := Assemble(`
+		lock *(u64 *)(r1 +0) += r2
+		lock *(u32 *)(r1 +4) ^= r3
+		lock *(u64 *)(r1 +8) +=fetch r2
+		lock *(u64 *)(r1 +0) xchg r2
+		lock *(u64 *)(r1 +0) cmpxchg r2
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []int32{isa.AtomicAdd, isa.AtomicXor, isa.AtomicAdd | isa.AtomicFetch, isa.AtomicXchg, isa.AtomicCmpXchg}
+	for i, want := range wants {
+		if !p.Insns[i].IsAtomic() || p.Insns[i].Imm != want {
+			t.Errorf("atomic %d: %+v, want op %#x", i, p.Insns[i], want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"r12 = 0",                 // bad register
+		"r0 <> 1",                 // unknown operator
+		"if r0 = 0 goto +1",       // bad comparison
+		"if r0 == 0 goto nowhere", // unknown label
+		"*(u64 *)(r0 +0)",         // store without value
+		"call nothing",            // bad call
+		"lock *(u64 *)(r0 +0) ?= r1",
+		"x: x: exit",            // duplicate label... same line
+		"r0 = *(u128 *)(r1 +0)", // bad width
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Every constructor-produced instruction must survive
+	// String() -> Assemble().
+	insns := []isa.Instruction{
+		isa.Mov64Imm(isa.R0, -5),
+		isa.Mov32Imm(isa.R1, 7),
+		isa.Mov64Reg(isa.R2, isa.R3),
+		isa.Mov32Reg(isa.R4, isa.R5),
+		isa.Alu64Imm(isa.ALUAdd, isa.R1, -8),
+		isa.Alu64Reg(isa.ALUXor, isa.R2, isa.R3),
+		isa.Alu32Imm(isa.ALURsh, isa.R4, 3),
+		isa.Alu32Reg(isa.ALUAnd, isa.R5, isa.R6),
+		isa.Neg64(isa.R7),
+		isa.Endian(isa.R1, 16, true),
+		isa.Endian(isa.R1, 64, false),
+		isa.LoadImm64(isa.R8, 0xdeadbeefcafebabe),
+		isa.LoadMapFD(isa.R1, 9),
+		isa.LoadMapValue(isa.R2, 3, 24),
+		isa.LoadBTFID(isa.R3, 2),
+		isa.LoadMem(isa.SizeB, isa.R0, isa.R1, 3),
+		isa.LoadMemSX(isa.SizeW, isa.R0, isa.R1, -4),
+		isa.StoreMem(isa.SizeDW, isa.R10, isa.R0, -16),
+		isa.StoreImm(isa.SizeH, isa.R10, -6, 99),
+		isa.Atomic(isa.SizeDW, isa.R1, isa.R2, 8, isa.AtomicAdd|isa.AtomicFetch),
+		isa.Atomic(isa.SizeW, isa.R1, isa.R2, 0, isa.AtomicCmpXchg),
+		isa.JumpA(1),
+		isa.JumpImm(isa.JSLE, isa.R3, -7, 1),
+		isa.JumpReg(isa.JGT, isa.R3, isa.R4, 0),
+		isa.Jump32Imm(isa.JSET, isa.R5, 4, 0),
+		isa.Call(6),
+		isa.CallKfunc(101),
+		isa.Exit(),
+	}
+	orig := &isa.Program{Insns: insns}
+	back, err := Assemble(orig.String())
+	if err != nil {
+		t.Fatalf("round trip failed:\n%s\nerr: %v", orig, err)
+	}
+	if len(back.Insns) != len(insns) {
+		t.Fatalf("round trip length %d, want %d", len(back.Insns), len(insns))
+	}
+	for i := range insns {
+		got, want := back.Insns[i], insns[i]
+		got.Meta, want.Meta = isa.InsnMeta{}, isa.InsnMeta{}
+		if got != want {
+			t.Errorf("insn %d: got %+v (%s), want %+v (%s)", i, got, got.String(), want, want.String())
+		}
+	}
+}
+
+// TestRoundTripProperty fuzzes the round trip with random but valid
+// constructor output.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	mk := func() isa.Instruction {
+		switch r.Intn(8) {
+		case 0:
+			return isa.Mov64Imm(uint8(r.Intn(10)), int32(r.Uint32()))
+		case 1:
+			return isa.Alu64Imm([]uint8{isa.ALUAdd, isa.ALUSub, isa.ALUOr, isa.ALUXor}[r.Intn(4)],
+				uint8(r.Intn(10)), int32(r.Uint32()>>8))
+		case 2:
+			return isa.LoadMem([]uint8{isa.SizeB, isa.SizeH, isa.SizeW, isa.SizeDW}[r.Intn(4)],
+				uint8(r.Intn(10)), uint8(r.Intn(11)), int16(r.Intn(512)-256))
+		case 3:
+			return isa.StoreImm(isa.SizeW, uint8(r.Intn(11)), int16(r.Intn(64)-32), int32(r.Uint32()))
+		case 4:
+			return isa.JumpImm([]uint8{isa.JEQ, isa.JNE, isa.JLT, isa.JSGE}[r.Intn(4)],
+				uint8(r.Intn(10)), int32(r.Intn(4096)), int16(r.Intn(64)))
+		case 5:
+			return isa.LoadImm64(uint8(r.Intn(10)), r.Uint64())
+		case 6:
+			return isa.Call(int32(r.Intn(200)))
+		default:
+			return isa.Mov64Reg(uint8(r.Intn(10)), uint8(r.Intn(11)))
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		p := &isa.Program{}
+		for i := 0; i < 1+r.Intn(20); i++ {
+			p.Insns = append(p.Insns, mk())
+		}
+		p.Insns = append(p.Insns, isa.Exit())
+		back, err := Assemble(p.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p)
+		}
+		for i := range p.Insns {
+			got, want := back.Insns[i], p.Insns[i]
+			if got != want {
+				t.Fatalf("trial %d insn %d: got %v want %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAssembleEmptyAndWhitespace(t *testing.T) {
+	p, err := Assemble("\n\n  ; nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insns) != 0 {
+		t.Errorf("insns = %d, want 0", len(p.Insns))
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("r0 = 0\nexit\nbogus instruction here")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line = %d, want 3", aerr.Line)
+	}
+	if !strings.Contains(aerr.Error(), "line 3") {
+		t.Errorf("message %q", aerr.Error())
+	}
+}

@@ -1,0 +1,266 @@
+// Package btf models a minimal BPF Type Format registry: the kernel
+// structures eBPF programs may point into via PTR_TO_BTF_ID, their field
+// layouts, and the kernel functions (kfuncs) callable from programs.
+//
+// The semantics that matter for BVF are reproduced faithfully: a
+// PTR_TO_BTF_ID pointer is *trusted* — the verifier does not require a
+// null check before dereferencing it because the kernel handles faulting
+// reads of such pointers — even though the pointer may in fact be null at
+// runtime. That asymmetry is the root cause of the paper's Bug #1.
+package btf
+
+import "fmt"
+
+// TypeID identifies a kernel type in the registry.
+type TypeID int32
+
+// Field describes one member of a kernel struct.
+type Field struct {
+	Name   string
+	Offset int // byte offset within the struct
+	Size   int // byte size
+	// PointsTo is the pointee's type for pointer fields, or 0.
+	PointsTo TypeID
+}
+
+// Struct describes a kernel structure reachable from eBPF.
+type Struct struct {
+	ID     TypeID
+	Name   string
+	Size   int
+	Fields []Field
+}
+
+// FieldAt returns the field containing the byte range [off, off+size), or
+// nil if the range does not fall inside a single field.
+func (s *Struct) FieldAt(off, size int) *Field {
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		if off >= f.Offset && off+size <= f.Offset+f.Size {
+			return f
+		}
+	}
+	return nil
+}
+
+// Kfunc describes a kernel function callable from eBPF via the
+// pseudo-kfunc call instruction.
+type Kfunc struct {
+	ID   TypeID
+	Name string
+	// Params lists the expected argument kinds.
+	Params []KfuncParam
+	// RetBTF is the returned object's type for pointer-returning
+	// kfuncs, or 0 for scalar returns.
+	RetBTF TypeID
+	// RetNullable marks pointer returns that may be null (the verifier
+	// tracks them as PTR_TO_BTF_ID_OR_NULL).
+	RetNullable bool
+	// Acquire/Release mark reference-counting kfuncs.
+	Acquire bool
+	Release bool
+}
+
+// KfuncParam is one expected kfunc parameter.
+type KfuncParam struct {
+	Name string
+	// BTF is the expected pointee type for pointer params, 0 for scalar.
+	BTF TypeID
+	// Nullable allows passing a possibly-null pointer.
+	Nullable bool
+}
+
+// Registry holds the kernel's types and kfuncs.
+type Registry struct {
+	structs map[TypeID]*Struct
+	byName  map[string]*Struct
+	kfuncs  map[TypeID]*Kfunc
+}
+
+// Well-known type IDs, stable across the repository.
+const (
+	TaskStructID TypeID = 1
+	FileID       TypeID = 2
+	SockID       TypeID = 3
+	InodeID      TypeID = 4
+	CgroupID     TypeID = 5
+)
+
+// Well-known kfunc IDs.
+const (
+	KfuncTaskAcquire   TypeID = 100
+	KfuncTaskRelease   TypeID = 101
+	KfuncTaskFromPid   TypeID = 102
+	KfuncRcuReadLock   TypeID = 103
+	KfuncRcuReadUnlock TypeID = 104
+	KfuncDynptrFromMem TypeID = 105
+	KfuncObjNew        TypeID = 106
+	KfuncObjDrop       TypeID = 107
+)
+
+// NewKernelRegistry returns the standard simulated kernel type registry.
+// Sizes are scaled-down but structurally faithful: task_struct contains
+// scalar fields and pointers to other kernel objects.
+func NewKernelRegistry() *Registry {
+	r := &Registry{
+		structs: make(map[TypeID]*Struct),
+		byName:  make(map[string]*Struct),
+		kfuncs:  make(map[TypeID]*Kfunc),
+	}
+	r.addStruct(&Struct{ID: TaskStructID, Name: "task_struct", Size: 256, Fields: []Field{
+		{Name: "state", Offset: 0, Size: 8},
+		{Name: "pid", Offset: 8, Size: 4},
+		{Name: "tgid", Offset: 12, Size: 4},
+		{Name: "flags", Offset: 16, Size: 8},
+		{Name: "mm", Offset: 24, Size: 8, PointsTo: InodeID},
+		{Name: "files", Offset: 32, Size: 8, PointsTo: FileID},
+		{Name: "comm", Offset: 40, Size: 16},
+		{Name: "cred", Offset: 56, Size: 8},
+		{Name: "parent", Offset: 64, Size: 8, PointsTo: TaskStructID},
+		{Name: "utime", Offset: 72, Size: 8},
+		{Name: "stime", Offset: 80, Size: 8},
+		{Name: "cgroups", Offset: 88, Size: 8, PointsTo: CgroupID},
+		{Name: "pad", Offset: 96, Size: 160},
+	}})
+	r.addStruct(&Struct{ID: FileID, Name: "file", Size: 128, Fields: []Field{
+		{Name: "f_flags", Offset: 0, Size: 4},
+		{Name: "f_mode", Offset: 4, Size: 4},
+		{Name: "f_pos", Offset: 8, Size: 8},
+		{Name: "f_inode", Offset: 16, Size: 8, PointsTo: InodeID},
+		{Name: "private_data", Offset: 24, Size: 8},
+		{Name: "pad", Offset: 32, Size: 96},
+	}})
+	r.addStruct(&Struct{ID: SockID, Name: "sock", Size: 192, Fields: []Field{
+		{Name: "sk_family", Offset: 0, Size: 2},
+		{Name: "sk_type", Offset: 2, Size: 2},
+		{Name: "sk_protocol", Offset: 4, Size: 4},
+		{Name: "sk_rcvbuf", Offset: 8, Size: 4},
+		{Name: "sk_sndbuf", Offset: 12, Size: 4},
+		{Name: "sk_priority", Offset: 16, Size: 8},
+		{Name: "pad", Offset: 24, Size: 168},
+	}})
+	r.addStruct(&Struct{ID: InodeID, Name: "inode", Size: 128, Fields: []Field{
+		{Name: "i_mode", Offset: 0, Size: 2},
+		{Name: "i_uid", Offset: 4, Size: 4},
+		{Name: "i_gid", Offset: 8, Size: 4},
+		{Name: "i_size", Offset: 16, Size: 8},
+		{Name: "pad", Offset: 24, Size: 104},
+	}})
+	r.addStruct(&Struct{ID: CgroupID, Name: "cgroup", Size: 96, Fields: []Field{
+		{Name: "id", Offset: 0, Size: 8},
+		{Name: "level", Offset: 8, Size: 4},
+		{Name: "pad", Offset: 16, Size: 80},
+	}})
+
+	r.addKfunc(&Kfunc{
+		ID: KfuncTaskAcquire, Name: "bpf_task_acquire",
+		Params:  []KfuncParam{{Name: "p", BTF: TaskStructID}},
+		RetBTF:  TaskStructID,
+		Acquire: true, RetNullable: true,
+	})
+	r.addKfunc(&Kfunc{
+		ID: KfuncTaskRelease, Name: "bpf_task_release",
+		Params:  []KfuncParam{{Name: "p", BTF: TaskStructID}},
+		Release: true,
+	})
+	r.addKfunc(&Kfunc{
+		ID: KfuncTaskFromPid, Name: "bpf_task_from_pid",
+		Params:      []KfuncParam{{Name: "pid", BTF: 0}},
+		RetBTF:      TaskStructID,
+		RetNullable: true, Acquire: true,
+	})
+	r.addKfunc(&Kfunc{ID: KfuncRcuReadLock, Name: "bpf_rcu_read_lock"})
+	r.addKfunc(&Kfunc{ID: KfuncRcuReadUnlock, Name: "bpf_rcu_read_unlock"})
+	r.addKfunc(&Kfunc{
+		ID: KfuncObjNew, Name: "bpf_obj_new_impl",
+		Params:      []KfuncParam{{Name: "size", BTF: 0}},
+		RetBTF:      InodeID,
+		RetNullable: true, Acquire: true,
+	})
+	r.addKfunc(&Kfunc{
+		ID: KfuncObjDrop, Name: "bpf_obj_drop_impl",
+		Params:  []KfuncParam{{Name: "obj", BTF: InodeID}},
+		Release: true,
+	})
+	return r
+}
+
+func (r *Registry) addStruct(s *Struct) {
+	r.structs[s.ID] = s
+	r.byName[s.Name] = s
+}
+
+func (r *Registry) addKfunc(k *Kfunc) { r.kfuncs[k.ID] = k }
+
+// Struct returns the struct with the given ID, or nil.
+func (r *Registry) Struct(id TypeID) *Struct { return r.structs[id] }
+
+// StructByName returns the struct with the given name, or nil.
+func (r *Registry) StructByName(name string) *Struct { return r.byName[name] }
+
+// Kfunc returns the kfunc with the given ID, or nil.
+func (r *Registry) Kfunc(id TypeID) *Kfunc { return r.kfuncs[id] }
+
+// Kfuncs returns all registered kfunc IDs in ascending order.
+func (r *Registry) Kfuncs() []TypeID {
+	ids := make([]TypeID, 0, len(r.kfuncs))
+	for id := range r.kfuncs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}
+
+// StructIDs returns all registered struct IDs in ascending order.
+func (r *Registry) StructIDs() []TypeID {
+	ids := make([]TypeID, 0, len(r.structs))
+	for id := range r.structs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}
+
+// AccessError describes a rejected BTF pointer access.
+type AccessError struct {
+	Type *Struct
+	Off  int
+	Size int
+	Why  string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("btf: invalid access to %s at off %d size %d: %s", e.Type.Name, e.Off, e.Size, e.Why)
+}
+
+// CheckAccess validates a read of [off, off+size) within the struct,
+// mirroring btf_struct_access. sizeLimit overrides the struct size bound
+// when positive — the verifier's Bug #2 knob passes an inflated limit for
+// task_struct, admitting out-of-bounds reads.
+func (r *Registry) CheckAccess(id TypeID, off, size int, sizeLimit int) (*Field, error) {
+	s := r.structs[id]
+	if s == nil {
+		return nil, fmt.Errorf("btf: unknown type id %d", id)
+	}
+	limit := s.Size
+	if sizeLimit > 0 {
+		limit = sizeLimit
+	}
+	if off < 0 || size <= 0 || off+size > limit {
+		return nil, &AccessError{Type: s, Off: off, Size: size, Why: "outside struct bounds"}
+	}
+	// Field-granular check: reads must not straddle unrelated fields.
+	f := s.FieldAt(off, size)
+	if f == nil && off+size <= s.Size {
+		return nil, &AccessError{Type: s, Off: off, Size: size, Why: "straddles fields"}
+	}
+	return f, nil
+}

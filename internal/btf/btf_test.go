@@ -1,0 +1,112 @@
+package btf
+
+import "testing"
+
+func TestRegistryLookups(t *testing.T) {
+	r := NewKernelRegistry()
+	task := r.Struct(TaskStructID)
+	if task == nil || task.Name != "task_struct" {
+		t.Fatalf("task_struct lookup failed: %v", task)
+	}
+	if got := r.StructByName("sock"); got == nil || got.ID != SockID {
+		t.Errorf("StructByName(sock) = %v", got)
+	}
+	if r.Struct(999) != nil {
+		t.Error("unknown id resolved")
+	}
+	if k := r.Kfunc(KfuncTaskAcquire); k == nil || !k.Acquire {
+		t.Errorf("task_acquire kfunc: %v", k)
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	r := NewKernelRegistry()
+	task := r.Struct(TaskStructID)
+	f := task.FieldAt(8, 4)
+	if f == nil || f.Name != "pid" {
+		t.Errorf("FieldAt(8,4) = %v, want pid", f)
+	}
+	// Sub-field access within comm.
+	if f := task.FieldAt(44, 4); f == nil || f.Name != "comm" {
+		t.Errorf("FieldAt(44,4) = %v, want comm", f)
+	}
+	// Straddling pid/tgid boundary is not within a single field.
+	if f := task.FieldAt(10, 4); f != nil {
+		t.Errorf("straddling FieldAt = %v, want nil", f)
+	}
+}
+
+func TestFieldLayoutsConsistent(t *testing.T) {
+	r := NewKernelRegistry()
+	for _, id := range r.StructIDs() {
+		s := r.Struct(id)
+		end := 0
+		for _, f := range s.Fields {
+			if f.Offset < end {
+				t.Errorf("%s.%s overlaps previous field", s.Name, f.Name)
+			}
+			end = f.Offset + f.Size
+		}
+		if end > s.Size {
+			t.Errorf("%s fields extend past struct size (%d > %d)", s.Name, end, s.Size)
+		}
+	}
+}
+
+func TestCheckAccessValid(t *testing.T) {
+	r := NewKernelRegistry()
+	f, err := r.CheckAccess(TaskStructID, 8, 4, 0)
+	if err != nil || f == nil || f.Name != "pid" {
+		t.Errorf("CheckAccess(pid) = %v, %v", f, err)
+	}
+}
+
+func TestCheckAccessOOB(t *testing.T) {
+	r := NewKernelRegistry()
+	task := r.Struct(TaskStructID)
+	if _, err := r.CheckAccess(TaskStructID, task.Size, 8, 0); err == nil {
+		t.Error("access past struct end allowed")
+	}
+	if _, err := r.CheckAccess(TaskStructID, -4, 8, 0); err == nil {
+		t.Error("negative offset allowed")
+	}
+	if _, err := r.CheckAccess(TaskStructID, 0, 0, 0); err == nil {
+		t.Error("zero-size access allowed")
+	}
+}
+
+func TestCheckAccessInflatedLimit(t *testing.T) {
+	// The Bug #2 knob passes an inflated size limit; CheckAccess must
+	// honour it so the verifier model can reproduce the bug.
+	r := NewKernelRegistry()
+	task := r.Struct(TaskStructID)
+	if _, err := r.CheckAccess(TaskStructID, task.Size, 8, task.Size+64); err != nil {
+		t.Errorf("inflated-limit access rejected: %v", err)
+	}
+}
+
+func TestCheckAccessUnknownType(t *testing.T) {
+	r := NewKernelRegistry()
+	if _, err := r.CheckAccess(424242, 0, 8, 0); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestKfuncIDsSorted(t *testing.T) {
+	r := NewKernelRegistry()
+	ids := r.Kfuncs()
+	if len(ids) == 0 {
+		t.Fatal("no kfuncs registered")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("Kfuncs not sorted")
+		}
+	}
+	sids := r.StructIDs()
+	for i := 1; i < len(sids); i++ {
+		if sids[i-1] >= sids[i] {
+			t.Error("StructIDs not sorted")
+		}
+	}
+}

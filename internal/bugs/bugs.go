@@ -1,0 +1,127 @@
+// Package bugs defines the ground-truth bug knobs used by the evaluation.
+// Each knob re-creates the root cause of one vulnerability from the paper's
+// Table 2 (plus CVE-2022-23222 from the introduction) inside the simulated
+// kernel, so the fuzzing campaigns have real correctness bugs to discover.
+// Kernel "versions" arm historically appropriate subsets.
+package bugs
+
+// ID identifies one seeded bug.
+type ID int
+
+// Bug identifiers, numbered as in the paper's Table 2.
+const (
+	Bug1NullnessProp   ID = iota + 1 // verifier: nullness propagation vs PTR_TO_BTF_ID
+	Bug2TaskAccess                   // verifier: task_struct access size bound
+	Bug3KfuncBacktrack               // verifier: kfunc-call backtracking precision
+	Bug4TracePrintk                  // verifier: missing trace_printk attach restriction
+	Bug5Contention                   // verifier: missing contention_begin restriction
+	Bug6SendSignal                   // verifier: missing strict send_signal check
+	Bug7Dispatcher                   // dispatcher: update/execute race
+	Bug8Kmemdup                      // syscall: kmemdup over kmalloc limit
+	Bug9BucketIter                   // map: bucket walk past lock failure
+	Bug10IrqWork                     // helper: irq_work_queue lock misuse
+	Bug11XDPDevProg                  // xdp: device program run on host
+	CVE2022_23222                    // verifier: ALU on nullable map-value pointer
+	numBugs
+)
+
+var names = map[ID]string{
+	Bug1NullnessProp:   "bug1-nullness-propagation",
+	Bug2TaskAccess:     "bug2-task-struct-access",
+	Bug3KfuncBacktrack: "bug3-kfunc-backtracking",
+	Bug4TracePrintk:    "bug4-trace-printk-attach",
+	Bug5Contention:     "bug5-contention-begin-attach",
+	Bug6SendSignal:     "bug6-send-signal-check",
+	Bug7Dispatcher:     "bug7-dispatcher-sync",
+	Bug8Kmemdup:        "bug8-kmemdup-limit",
+	Bug9BucketIter:     "bug9-bucket-iteration",
+	Bug10IrqWork:       "bug10-irq-work-queue",
+	Bug11XDPDevProg:    "bug11-xdp-device-prog",
+	CVE2022_23222:      "cve-2022-23222",
+}
+
+// String returns the bug's stable name.
+func (id ID) String() string {
+	if n, ok := names[id]; ok {
+		return n
+	}
+	return "unknown-bug"
+}
+
+// Component returns the subsystem the bug lives in, as listed in Table 2.
+func (id ID) Component() string {
+	switch id {
+	case Bug1NullnessProp, Bug2TaskAccess, Bug3KfuncBacktrack,
+		Bug4TracePrintk, Bug5Contention, Bug6SendSignal, CVE2022_23222:
+		return "Verifier"
+	case Bug7Dispatcher:
+		return "Dispatcher"
+	case Bug8Kmemdup:
+		return "Syscall"
+	case Bug9BucketIter:
+		return "Map"
+	case Bug10IrqWork:
+		return "Helper"
+	case Bug11XDPDevProg:
+		return "XDP"
+	}
+	return "Unknown"
+}
+
+// IsVerifierCorrectness reports whether the bug is one of the six verifier
+// correctness bugs (the paper's headline result counts these separately).
+func (id ID) IsVerifierCorrectness() bool {
+	switch id {
+	case Bug1NullnessProp, Bug2TaskAccess, Bug3KfuncBacktrack,
+		Bug4TracePrintk, Bug5Contention, Bug6SendSignal:
+		return true
+	}
+	return false
+}
+
+// AllIDs returns every seeded bug ID in Table 2 order.
+func AllIDs() []ID {
+	out := make([]ID, 0, int(numBugs)-1)
+	for id := Bug1NullnessProp; id < numBugs; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Set is a collection of armed bug knobs.
+type Set map[ID]bool
+
+// None returns an empty (fully fixed) bug set.
+func None() Set { return Set{} }
+
+// All returns a set with every knob armed.
+func All() Set {
+	s := Set{}
+	for _, id := range AllIDs() {
+		s[id] = true
+	}
+	return s
+}
+
+// Of builds a set from the given IDs.
+func Of(ids ...ID) Set {
+	s := Set{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Has reports whether the knob is armed. A nil set has nothing armed.
+func (s Set) Has(id ID) bool { return s != nil && s[id] }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := Set{}
+	for id, v := range s {
+		if v {
+			c[id] = true
+		}
+	}
+	return c
+}

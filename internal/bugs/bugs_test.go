@@ -1,0 +1,66 @@
+package bugs
+
+import "testing"
+
+func TestAllIDsCoverTable2(t *testing.T) {
+	ids := AllIDs()
+	if len(ids) != 12 { // 11 paper bugs + the CVE
+		t.Fatalf("AllIDs = %d entries", len(ids))
+	}
+	names := map[string]bool{}
+	for _, id := range ids {
+		if id.String() == "unknown-bug" {
+			t.Errorf("id %d lacks a name", id)
+		}
+		if names[id.String()] {
+			t.Errorf("duplicate name %q", id)
+		}
+		names[id.String()] = true
+		if id.Component() == "Unknown" {
+			t.Errorf("id %v lacks a component", id)
+		}
+	}
+}
+
+func TestVerifierCorrectnessCount(t *testing.T) {
+	n := 0
+	for _, id := range AllIDs() {
+		if id.IsVerifierCorrectness() {
+			n++
+		}
+	}
+	if n != 6 {
+		t.Errorf("verifier correctness bugs = %d, want 6 (paper Table 2)", n)
+	}
+	if CVE2022_23222.IsVerifierCorrectness() {
+		t.Error("the CVE is counted among the six Table 2 bugs")
+	}
+	if CVE2022_23222.Component() != "Verifier" {
+		t.Error("the CVE is a verifier bug nonetheless")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	if None().Has(Bug1NullnessProp) {
+		t.Error("None has a bug")
+	}
+	all := All()
+	for _, id := range AllIDs() {
+		if !all.Has(id) {
+			t.Errorf("All missing %v", id)
+		}
+	}
+	s := Of(Bug4TracePrintk, Bug5Contention)
+	if !s.Has(Bug4TracePrintk) || s.Has(Bug6SendSignal) {
+		t.Error("Of built wrong set")
+	}
+	c := s.Clone()
+	delete(c, Bug4TracePrintk)
+	if !s.Has(Bug4TracePrintk) {
+		t.Error("Clone aliases the original")
+	}
+	var nilSet Set
+	if nilSet.Has(Bug1NullnessProp) {
+		t.Error("nil set has a bug")
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+)
+
+// ProgramSource is any program generator the campaign can drive: BVF's
+// structured generator or one of the baselines.
+type ProgramSource interface {
+	// Name identifies the tool for reports.
+	Name() string
+	// Generate synthesizes one program against the given resource pool.
+	Generate(r *rand.Rand, pool []MapHandle) *isa.Program
+}
+
+// bvfSource adapts Generator to ProgramSource.
+type bvfSource struct {
+	name string
+	cfg  GenConfig
+}
+
+func (b *bvfSource) Name() string { return b.name }
+
+func (b *bvfSource) Generate(r *rand.Rand, pool []MapHandle) *isa.Program {
+	cfg := b.cfg
+	cfg.Maps = pool
+	g := NewGenerator(cfg)
+	return g.Generate(r)
+}
+
+// BVFSource returns the structured-generation program source.
+func BVFSource(kfuncs bool) ProgramSource {
+	return &bvfSource{name: "BVF", cfg: GenConfig{Kfuncs: kfuncs}}
+}
+
+// BVFVariant returns a named BVF source with a custom generator
+// configuration, used by the ablation experiments.
+func BVFVariant(name string, cfg GenConfig) ProgramSource {
+	return &bvfSource{name: name, cfg: cfg}
+}
+
+// BugRecord describes one discovered bug.
+type BugRecord struct {
+	ID        bugs.ID
+	Kind      string
+	Indicator kernel.Indicator
+	FoundAt   int // iteration index
+	Err       string
+	Program   *isa.Program
+	// Minimized is the shrunken stable reproducer (nil when the bug was
+	// not triggered by a program, e.g. map-dump syscalls).
+	Minimized *isa.Program
+}
+
+// CurvePoint samples the coverage growth curve.
+type CurvePoint struct {
+	Iteration int
+	Branches  int
+}
+
+// Stats aggregates one campaign's results — everything the §6
+// experiments report.
+type Stats struct {
+	Tool       string
+	Version    kernel.Version
+	Iterations int
+	Accepted   int
+	// ErrnoHist histograms verifier rejections by errno (§6.3).
+	ErrnoHist map[int]int
+	// RejectReasons histograms the first word of rejection messages.
+	RejectReasons map[string]int
+	// Coverage is the accumulated verifier branch coverage.
+	Coverage *coverage.Map
+	// Curve samples coverage over iterations (Figure 6).
+	Curve []CurvePoint
+	// Bugs maps each attributed seeded bug to its first discovery.
+	Bugs map[bugs.ID]*BugRecord
+	// OtherAnomalies counts unattributed anomalies by kind.
+	OtherAnomalies map[string]int
+	// UnattributedSamples keeps a few unattributed anomalies with their
+	// programs for manual triage (§6.5's "Bug Triage" step).
+	UnattributedSamples []BugRecord
+	// CorpusSize is the final corpus size (coverage-novel programs).
+	CorpusSize int
+	// InsnClassMix counts generated instructions by class, for the
+	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
+	InsnClassMix map[string]int
+}
+
+// AcceptanceRate returns the fraction of generated programs that passed
+// the verifier.
+func (s *Stats) AcceptanceRate() float64 {
+	if s.Iterations == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Iterations)
+}
+
+// VerifierBugsFound counts discovered verifier correctness bugs.
+func (s *Stats) VerifierBugsFound() int {
+	n := 0
+	for id := range s.Bugs {
+		if id.IsVerifierCorrectness() || id == bugs.CVE2022_23222 {
+			n++
+		}
+	}
+	return n
+}
+
+// BugIDs returns the discovered bug ids in ascending order.
+func (s *Stats) BugIDs() []bugs.ID {
+	out := make([]bugs.ID, 0, len(s.Bugs))
+	for id := range s.Bugs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CampaignConfig parameterizes one fuzzing campaign.
+type CampaignConfig struct {
+	Source  ProgramSource
+	Version kernel.Version
+	// Sanitize enables the BVF kernel patches; baselines run without
+	// them, exactly as in the paper's comparison.
+	Sanitize bool
+	// OverrideBugs replaces the version's default bug knobs when
+	// non-nil (e.g. bugs.None() for a fully fixed kernel).
+	OverrideBugs bugs.Set
+	Seed         int64
+	// RecycleEvery rebuilds the kernel (fresh memory domain) after this
+	// many iterations, like a fuzzer rebooting its VM.
+	RecycleEvery int
+	// MutateBias is the per-iteration probability (0-256) of mutating a
+	// corpus program instead of generating afresh, once coverage
+	// feedback has populated the corpus. Negative disables mutation
+	// (random-bytes fuzzers have no validity-preserving mutators).
+	MutateBias int
+	// CurveSamples controls how many coverage curve points to record.
+	CurveSamples int
+	// NoMinimize skips reproducer minimization on discovered bugs.
+	NoMinimize bool
+	// RunsPerProgram executes each accepted program this many times.
+	RunsPerProgram int
+}
+
+// Campaign drives one tool against one kernel version.
+type Campaign struct {
+	cfg    CampaignConfig
+	r      *rand.Rand
+	stats  *Stats
+	corpus *Corpus
+
+	k    *kernel.Kernel
+	pool []MapHandle
+}
+
+// NewCampaign builds a campaign.
+func NewCampaign(cfg CampaignConfig) *Campaign {
+	if cfg.RecycleEvery == 0 {
+		cfg.RecycleEvery = 512
+	}
+	if cfg.MutateBias == 0 {
+		cfg.MutateBias = 96
+	}
+	if cfg.CurveSamples == 0 {
+		cfg.CurveSamples = 48
+	}
+	if cfg.RunsPerProgram == 0 {
+		cfg.RunsPerProgram = 2
+	}
+	return &Campaign{
+		cfg:    cfg,
+		r:      rand.New(rand.NewSource(cfg.Seed)),
+		corpus: NewCorpus(256),
+		stats: &Stats{
+			Tool:           cfg.Source.Name(),
+			Version:        cfg.Version,
+			ErrnoHist:      make(map[int]int),
+			RejectReasons:  make(map[string]int),
+			Coverage:       coverage.NewMap(),
+			Bugs:           make(map[bugs.ID]*BugRecord),
+			OtherAnomalies: make(map[string]int),
+			InsnClassMix:   make(map[string]int),
+		},
+	}
+}
+
+// PoolSpecs returns the standard resource-pool map specifications, so
+// harnesses outside the campaign can reproduce its environment.
+func PoolSpecs() []maps.Spec {
+	return append([]maps.Spec(nil), poolSpecs...)
+}
+
+// poolSpecs is the standard resource pool created in each kernel.
+var poolSpecs = []maps.Spec{
+	{Type: maps.Array, KeySize: 4, ValueSize: 64, MaxEntries: 4, Name: "arr64"},
+	{Type: maps.Array, KeySize: 4, ValueSize: 16, MaxEntries: 8, Name: "arr16"},
+	{Type: maps.Hash, KeySize: 8, ValueSize: 48, MaxEntries: 16, Name: "hash48"},
+	{Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8, Name: "hash8"},
+	{Type: maps.PerCPUArray, KeySize: 4, ValueSize: 32, MaxEntries: 4, Name: "pcpu"},
+	{Type: maps.Queue, ValueSize: 16, MaxEntries: 8, Name: "queue"},
+	{Type: maps.Stack, ValueSize: 16, MaxEntries: 8, Name: "stack"},
+	{Type: maps.RingBuf, MaxEntries: 256, Name: "rb"},
+	{Type: maps.ProgArray, KeySize: 4, ValueSize: 4, MaxEntries: 4, Name: "jmp_table"},
+	{Type: maps.LRUHash, KeySize: 4, ValueSize: 16, MaxEntries: 4, Name: "lru"},
+}
+
+// recycle builds a fresh kernel and resource pool. Existing coverage and
+// corpus persist; map fds are stable because the pool is created in a
+// fixed order.
+func (c *Campaign) recycle() error {
+	c.k = kernel.New(kernel.Config{
+		Version:  c.cfg.Version,
+		Bugs:     c.cfg.OverrideBugs,
+		Sanitize: c.cfg.Sanitize,
+		Cov:      c.stats.Coverage,
+	})
+	c.pool = c.pool[:0]
+	for _, spec := range poolSpecs {
+		fd, err := c.k.CreateMap(spec)
+		if err != nil {
+			return fmt.Errorf("campaign: pool map %s: %w", spec.Name, err)
+		}
+		c.pool = append(c.pool, MapHandle{FD: fd, Spec: spec})
+	}
+	// Populate the prog array with a trivial target so generated
+	// tail calls have somewhere to land.
+	target := &isa.Program{
+		Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Name: "tail_target",
+		Insns: []isa.Instruction{isa.Mov64Imm(isa.R0, 1), isa.Exit()},
+	}
+	if lp, err := c.k.LoadProgram(target); err == nil {
+		for _, h := range c.pool {
+			if h.Spec.Type == maps.ProgArray {
+				_ = c.k.SetProgArraySlot(h.FD, 0, lp.FD)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns the campaign's (live) statistics.
+func (c *Campaign) Stats() *Stats { return c.stats }
+
+// Run executes iters fuzzing iterations and returns the statistics.
+func (c *Campaign) Run(iters int) (*Stats, error) {
+	sampleEvery := iters / c.cfg.CurveSamples
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	for i := 0; i < iters; i++ {
+		if c.k == nil || i%c.cfg.RecycleEvery == 0 {
+			if err := c.recycle(); err != nil {
+				return nil, err
+			}
+		}
+		c.iteration(i)
+		if i%sampleEvery == 0 || i == iters-1 {
+			c.stats.Curve = append(c.stats.Curve, CurvePoint{
+				Iteration: i + 1, Branches: c.stats.Coverage.Count(),
+			})
+		}
+	}
+	c.stats.Iterations += iters
+	c.stats.CorpusSize = c.corpus.Len()
+	return c.stats, nil
+}
+
+func (c *Campaign) iteration(i int) {
+	var prog *isa.Program
+	if c.cfg.MutateBias > 0 && c.corpus.Len() > 0 && c.r.Intn(256) < c.cfg.MutateBias {
+		prog = Mutate(c.r, c.corpus.Pick(c.r))
+	} else {
+		prog = c.cfg.Source.Generate(c.r, c.pool)
+	}
+	c.countInsnMix(prog)
+
+	covBefore := c.stats.Coverage.Count()
+	lp, err := c.k.LoadProgram(prog)
+	newCov := c.stats.Coverage.Count() - covBefore
+
+	if err != nil {
+		c.recordReject(err)
+		// A rejected program can still be an anomaly (Bug #8's
+		// syscall warning).
+		if a := kernel.Classify(err); a != nil {
+			c.recordAnomaly(i, a, prog)
+		}
+		if newCov > 0 {
+			c.corpus.Add(prog, newCov)
+		}
+		return
+	}
+	c.stats.Accepted++
+	if newCov > 0 {
+		c.corpus.Add(prog, newCov)
+	}
+
+	for run := 0; run < c.cfg.RunsPerProgram; run++ {
+		out := c.k.Run(lp)
+		if a := kernel.Classify(out.Err); a != nil {
+			c.recordAnomaly(i, a, prog)
+			break
+		}
+	}
+	c.postRunSyscalls(i, lp, prog)
+}
+
+// postRunSyscalls exercises the surrounding syscall surface the way a
+// syzkaller-derived fuzzer does: map dumps, dispatcher updates and
+// offloaded attachment. The related-component bugs (#7, #9, #11) surface
+// here.
+func (c *Campaign) postRunSyscalls(i int, lp *kernel.LoadedProg, prog *isa.Program) {
+	if c.r.Intn(256) < 48 {
+		h := c.pool[c.r.Intn(len(c.pool))]
+		if h.Spec.Type == maps.Hash || h.Spec.Type == maps.Array {
+			if _, err := c.k.DumpMap(h.FD); err != nil {
+				if a := kernel.Classify(err); a != nil {
+					c.recordAnomaly(i, a, nil)
+				}
+			}
+		}
+	}
+	if prog.Type == isa.ProgTypeXDP {
+		if c.r.Intn(256) < 48 {
+			c.k.UpdateDispatcher(lp)
+			out := c.k.RunDispatcher()
+			if a := kernel.Classify(out.Err); a != nil {
+				c.recordAnomaly(i, a, prog)
+			}
+		}
+		if c.r.Intn(256) < 32 {
+			lp.Offloaded = true
+			out := c.k.Run(lp)
+			lp.Offloaded = false
+			if a := kernel.Classify(out.Err); a != nil {
+				c.recordAnomaly(i, a, prog)
+			}
+		}
+	}
+}
+
+func (c *Campaign) recordReject(err error) {
+	errno, word := rejectInfo(err)
+	c.stats.ErrnoHist[errno]++
+	if word != "" {
+		c.stats.RejectReasons[word]++
+	}
+}
+
+func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
+	id := c.k.Triage(a, prog)
+	if id == 0 {
+		c.stats.OtherAnomalies[a.Kind]++
+		if len(c.stats.UnattributedSamples) < 8 {
+			c.stats.UnattributedSamples = append(c.stats.UnattributedSamples, BugRecord{
+				Kind: a.Kind, Indicator: a.Indicator, FoundAt: i,
+				Err: a.Err.Error(), Program: prog,
+			})
+		}
+		return
+	}
+	if _, seen := c.stats.Bugs[id]; seen {
+		return
+	}
+	rec := &BugRecord{
+		ID: id, Kind: a.Kind, Indicator: a.Indicator,
+		FoundAt: i, Err: a.Err.Error(), Program: prog,
+	}
+	if prog != nil && !c.cfg.NoMinimize {
+		rep := NewReproducer(c.cfg.Version, c.cfg.OverrideBugs, c.cfg.Sanitize, id)
+		if rep.Check(prog) {
+			rec.Minimized = Minimize(rep, prog, 4)
+		}
+	}
+	c.stats.Bugs[id] = rec
+}
+
+func (c *Campaign) countInsnMix(p *isa.Program) {
+	for _, ins := range p.Insns {
+		c.stats.InsnClassMix[isa.ClassName(ins.Class())]++
+	}
+}

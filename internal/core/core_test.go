@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+	"repro/internal/verifier"
+)
+
+func testPool() []MapHandle {
+	return []MapHandle{
+		{FD: 3, Spec: maps.Spec{Type: maps.Array, KeySize: 4, ValueSize: 64, MaxEntries: 4, Name: "arr64"}},
+		{FD: 4, Spec: maps.Spec{Type: maps.Array, KeySize: 4, ValueSize: 16, MaxEntries: 8, Name: "arr16"}},
+		{FD: 5, Spec: maps.Spec{Type: maps.Hash, KeySize: 8, ValueSize: 48, MaxEntries: 16, Name: "hash48"}},
+		{FD: 6, Spec: maps.Spec{Type: maps.Queue, ValueSize: 16, MaxEntries: 8, Name: "queue"}},
+		{FD: 7, Spec: maps.Spec{Type: maps.RingBuf, MaxEntries: 256, Name: "rb"}},
+	}
+}
+
+func TestGeneratedProgramsStructurallyValid(t *testing.T) {
+	g := NewGenerator(GenConfig{Maps: testPool(), Kfuncs: true})
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		p := g.Generate(r)
+		if err := p.Validate(isa.MaxInsns); err != nil {
+			t.Fatalf("program %d structurally invalid: %v\n%s", i, err, p)
+		}
+	}
+}
+
+func TestGeneratedProgramsHaveStructure(t *testing.T) {
+	g := NewGenerator(GenConfig{Maps: testPool(), Kfuncs: true})
+	r := rand.New(rand.NewSource(19))
+	var withCall, withJump, withMapRef, withExit int
+	n := 2000
+	for i := 0; i < n; i++ {
+		p := g.Generate(r)
+		if !p.Insns[len(p.Insns)-1].IsExit() {
+			t.Fatalf("program %d lacks trailing exit", i)
+		}
+		withExit++
+		for _, ins := range p.Insns {
+			if ins.IsHelperCall() || ins.IsKfuncCall() {
+				withCall++
+				break
+			}
+		}
+		for _, ins := range p.Insns {
+			if ins.IsCondJump() {
+				withJump++
+				break
+			}
+		}
+		for _, ins := range p.Insns {
+			if ins.IsWide() && (ins.Src == isa.PseudoMapFD || ins.Src == isa.PseudoMapValue) {
+				withMapRef++
+				break
+			}
+		}
+	}
+	// The framed-body design should produce each behaviour in a healthy
+	// fraction of programs.
+	if withCall < n/3 {
+		t.Errorf("only %d/%d programs contain calls", withCall, n)
+	}
+	if withJump < n/4 {
+		t.Errorf("only %d/%d programs contain conditional jumps", withJump, n)
+	}
+	if withMapRef < n/4 {
+		t.Errorf("only %d/%d programs reference maps", withMapRef, n)
+	}
+}
+
+// TestAcceptanceRateInBand reproduces the §6.3 headline: roughly half of
+// BVF's programs pass the verifier.
+func TestAcceptanceRateInBand(t *testing.T) {
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 23})
+	st, err := c.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := st.AcceptanceRate(); r < 0.35 || r > 0.70 {
+		t.Errorf("acceptance rate = %.1f%%, want around the paper's 49%%", 100*r)
+	}
+	// EACCES and EINVAL dominate rejections, as in the paper.
+	if st.ErrnoHist[verifier.EACCES] == 0 || st.ErrnoHist[verifier.EINVAL] == 0 {
+		t.Errorf("errno histogram missing EACCES/EINVAL: %v", st.ErrnoHist)
+	}
+}
+
+// TestCampaignFindsAllSeededBugs is the RQ1 reproduction at unit-test
+// scale: a sanitized BVF campaign on bpf-next discovers every Table 2
+// bug.
+func TestCampaignFindsAllSeededBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 1})
+	st, err := c.Run(250000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kernel.BPFNext.DefaultBugs()
+	for id := range want {
+		if _, ok := st.Bugs[id]; !ok {
+			t.Errorf("campaign missed %v", id)
+		}
+	}
+	if len(st.OtherAnomalies) != 0 {
+		t.Errorf("unattributed anomalies: %v", st.OtherAnomalies)
+	}
+}
+
+// TestSanitationRequiredForIndicator1 shows the oracle asymmetry: without
+// the sanitizer the indicator-1 verifier bugs stay invisible (their
+// invalid accesses are silent), while indicator-2 bugs are still caught
+// by the kernel's own mechanisms.
+func TestSanitationRequiredForIndicator1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	run := func(san bool) *Stats {
+		c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: san, Seed: 5})
+		st, err := c.Run(60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	with := run(true)
+	without := run(false)
+	ind1 := func(st *Stats) int {
+		n := 0
+		for _, b := range st.Bugs {
+			if b.Indicator == kernel.Indicator1 {
+				n++
+			}
+		}
+		return n
+	}
+	if ind1(with) <= ind1(without) {
+		t.Errorf("sanitation did not improve indicator-1 detection: with=%d without=%d",
+			ind1(with), ind1(without))
+	}
+}
+
+func TestVersionGatesBugDiscovery(t *testing.T) {
+	// On a fully fixed kernel no bugs can be found and no anomalies
+	// fire — the oracle has no false positives.
+	cc := NewCampaign(CampaignConfig{
+		Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true,
+		OverrideBugs: bugs.None(), Seed: 9,
+	})
+	st, err := cc.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Bugs) != 0 {
+		t.Errorf("fixed kernel yielded bugs: %v", st.BugIDs())
+	}
+	if len(st.OtherAnomalies) != 0 {
+		t.Errorf("fixed kernel yielded anomalies: %v", st.OtherAnomalies)
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	g := NewGenerator(GenConfig{Maps: testPool(), Kfuncs: true})
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 1000; i++ {
+		p := g.Generate(r)
+		m := Mutate(r, p)
+		if err := m.Validate(isa.MaxInsns); err != nil {
+			t.Fatalf("mutant %d invalid: %v\norig:\n%s\nmut:\n%s", i, err, p, m)
+		}
+	}
+}
+
+func TestMutateDoesNotAliasOriginal(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	p := &isa.Program{Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R0, 7), isa.Exit(),
+	}}
+	before := p.Insns[0].Imm
+	for i := 0; i < 100; i++ {
+		Mutate(r, p)
+	}
+	if p.Insns[0].Imm != before {
+		t.Error("Mutate modified the original program")
+	}
+}
+
+func TestCorpusWeightedPick(t *testing.T) {
+	c := NewCorpus(4)
+	r := rand.New(rand.NewSource(37))
+	if c.Pick(r) != nil {
+		t.Error("empty corpus returned a program")
+	}
+	mk := func(imm int32) *isa.Program {
+		return &isa.Program{Insns: []isa.Instruction{isa.Mov64Imm(isa.R0, imm), isa.Exit()}}
+	}
+	c.Add(mk(1), 1)
+	c.Add(mk(2), 100)
+	counts := map[int32]int{}
+	for i := 0; i < 2000; i++ {
+		counts[c.Pick(r).Insns[0].Imm]++
+	}
+	if counts[2] < counts[1]*5 {
+		t.Errorf("weighting ineffective: %v", counts)
+	}
+	// Eviction respects the cap.
+	for i := int32(3); i < 10; i++ {
+		c.Add(mk(i), 1)
+	}
+	if c.Len() != 4 {
+		t.Errorf("corpus len = %d, want 4", c.Len())
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() *Stats {
+		c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.V61, Sanitize: true, Seed: 42})
+		st, err := c.Run(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.Coverage.Count() != b.Coverage.Count() {
+		t.Errorf("campaigns diverged: accepted %d vs %d, cov %d vs %d",
+			a.Accepted, b.Accepted, a.Coverage.Count(), b.Coverage.Count())
+	}
+	if len(a.Bugs) != len(b.Bugs) {
+		t.Errorf("bug sets diverged: %v vs %v", a.BugIDs(), b.BugIDs())
+	}
+}
+
+func TestCoverageCurveMonotonic(t *testing.T) {
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.V515, Sanitize: true, Seed: 50})
+	st, err := c.Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Curve) < 10 {
+		t.Fatalf("curve has %d points", len(st.Curve))
+	}
+	for i := 1; i < len(st.Curve); i++ {
+		if st.Curve[i].Branches < st.Curve[i-1].Branches {
+			t.Fatal("coverage curve decreased")
+		}
+		if st.Curve[i].Iteration <= st.Curve[i-1].Iteration {
+			t.Fatal("curve iterations not increasing")
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	g := NewGenerator(GenConfig{Maps: testPool(), Kfuncs: true})
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Generate(r)
+	}
+}
+
+func BenchmarkCampaignIteration(b *testing.B) {
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 2})
+	b.ResetTimer()
+	if _, err := c.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestMinimizedReproducers checks that every bug a campaign finds via a
+// program carries a minimized reproducer that (a) still triggers the same
+// bug on a pristine kernel and (b) is no larger than the original.
+func TestMinimizedReproducers(t *testing.T) {
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 1})
+	st, err := c.Run(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Bugs) < 8 {
+		t.Fatalf("campaign found only %d bugs", len(st.Bugs))
+	}
+	checked := 0
+	for id, rec := range st.Bugs {
+		if rec.Minimized == nil {
+			continue
+		}
+		checked++
+		if len(rec.Minimized.Insns) > len(rec.Program.Insns) {
+			t.Errorf("%v: minimized %d insns > original %d", id,
+				len(rec.Minimized.Insns), len(rec.Program.Insns))
+		}
+		rep := NewReproducer(kernel.BPFNext, nil, true, id)
+		if !rep.Check(rec.Minimized) {
+			t.Errorf("%v: minimized reproducer no longer triggers:\n%s", id, rec.Minimized)
+		}
+	}
+	if checked < 5 {
+		t.Errorf("only %d bugs carried minimized reproducers", checked)
+	}
+	var orig, min int
+	for _, rec := range st.Bugs {
+		if rec.Minimized != nil {
+			orig += len(rec.Program.Insns)
+			min += len(rec.Minimized.Insns)
+		}
+	}
+	t.Logf("minimization: %d -> %d insns across %d reproducers", orig, min, checked)
+	if min >= orig {
+		t.Errorf("minimization removed nothing overall: %d -> %d", orig, min)
+	}
+}

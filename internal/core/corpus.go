@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/verifier"
+)
+
+// Corpus keeps programs that produced new verifier coverage, the feedback
+// loop BVF inherits from Syzkaller (§5: "the coverage information enables
+// BVF to preserve interesting eBPF programs ... so that the following
+// generation can base on the saved programs").
+type Corpus struct {
+	max   int
+	progs []*isa.Program
+	// weights bias selection toward higher-novelty entries.
+	weights []int
+	total   int
+}
+
+// NewCorpus returns a corpus bounded to max entries (oldest evicted).
+func NewCorpus(max int) *Corpus {
+	return &Corpus{max: max}
+}
+
+// Len returns the number of stored programs.
+func (c *Corpus) Len() int { return len(c.progs) }
+
+// Add stores a program with the given novelty weight.
+func (c *Corpus) Add(p *isa.Program, novelty int) {
+	if novelty < 1 {
+		novelty = 1
+	}
+	if len(c.progs) >= c.max {
+		c.total -= c.weights[0]
+		c.progs = c.progs[1:]
+		c.weights = c.weights[1:]
+	}
+	c.progs = append(c.progs, p.Clone())
+	c.weights = append(c.weights, novelty)
+	c.total += novelty
+}
+
+// Pick returns a weighted-random corpus program.
+func (c *Corpus) Pick(r *rand.Rand) *isa.Program {
+	if len(c.progs) == 0 {
+		return nil
+	}
+	n := r.Intn(c.total)
+	for i, w := range c.weights {
+		if n < w {
+			return c.progs[i]
+		}
+		n -= w
+	}
+	return c.progs[len(c.progs)-1]
+}
+
+// rejectInfo extracts the errno and a short reason key from a program
+// load failure.
+func rejectInfo(err error) (errno int, word string) {
+	var ve *verifier.Error
+	if errors.As(err, &ve) {
+		return ve.Errno, firstWord(ve.Msg)
+	}
+	var sb *kernel.SyscallBugError
+	if errors.As(err, &sb) {
+		return verifier.EINVAL, "kmemdup"
+	}
+	return verifier.EINVAL, "other"
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,838 @@
+package core
+
+import (
+	"repro/internal/btf"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/maps"
+)
+
+// This file implements the three frame kinds of the framed body (§4.1,
+// part (3)): basic frames (state-aware straight-line operations), jump
+// frames (forward skips and bounded back-edge loops around nested
+// frames), and call frames (helper / kfunc invocations with
+// prototype-driven argument setup).
+
+// ---------------------------------------------------------------------
+// Basic frame
+
+// genBasicFrame emits a short run of non-control-flow operations chosen
+// according to the tracked register states.
+func (p *pstate) genBasicFrame() {
+	n := 1 + p.r.Intn(6)
+	for i := 0; i < n; i++ {
+		p.genBasicOp()
+	}
+}
+
+var aluOps = []uint8{
+	isa.ALUAdd, isa.ALUSub, isa.ALUMul, isa.ALUOr, isa.ALUAnd,
+	isa.ALULsh, isa.ALURsh, isa.ALUXor, isa.ALUArsh, isa.ALUDiv, isa.ALUMod,
+}
+
+func (p *pstate) genBasicOp() {
+	switch p.r.Intn(14) {
+	case 0, 1: // scalar ALU, imm operand
+		reg := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if reg == 0xff {
+			reg = p.scratchReg()
+			p.emit(isa.Mov64Imm(reg, int32(p.r.Intn(512))))
+			p.regs[reg] = genReg{kind: kScalar}
+		}
+		op := aluOps[p.r.Intn(len(aluOps))]
+		imm := int32(p.r.Intn(1 << 10))
+		if op == isa.ALUDiv || op == isa.ALUMod {
+			imm = int32(1 + p.r.Intn(255)) // avoid the const-zero reject
+		}
+		if op == isa.ALULsh || op == isa.ALURsh || op == isa.ALUArsh {
+			imm = int32(p.r.Intn(63))
+		}
+		if p.chance(64) {
+			p.emit(isa.Alu32Imm(op, reg, imm))
+		} else {
+			p.emit(isa.Alu64Imm(op, reg, imm))
+		}
+		p.regs[reg] = genReg{kind: kScalar}
+	case 2: // scalar ALU, reg operand
+		dst := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		src := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if dst == 0xff || src == 0xff {
+			return
+		}
+		op := aluOps[p.r.Intn(len(aluOps))]
+		p.emit(isa.Alu64Reg(op, dst, src))
+		p.regs[dst] = genReg{kind: kScalar}
+	case 3: // stack store + load round trip
+		off := p.freshStackSlot(false)
+		src := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if src != 0xff && p.chance(128) {
+			p.emit(isa.StoreMem(isa.SizeDW, isa.R10, src, off))
+		} else {
+			p.emit(isa.StoreImm(isa.SizeDW, isa.R10, off, int32(p.r.Uint32()>>16)))
+		}
+		p.stack[off] = true
+		if p.chance(160) {
+			dst := p.scratchReg()
+			sz := []uint8{isa.SizeB, isa.SizeH, isa.SizeW, isa.SizeDW}[p.r.Intn(4)]
+			p.emit(isa.LoadMem(sz, dst, isa.R10, off))
+			p.regs[dst] = genReg{kind: kScalar}
+		}
+	case 4: // map value access through a checked pointer
+		reg := p.pickReg(func(g genReg) bool { return g.kind == kMapValue })
+		if reg == 0xff {
+			return
+		}
+		m := p.regs[reg].m
+		limit := int(m.Spec.ValueSize)
+		if limit < 8 {
+			return
+		}
+		off := int16(p.r.Intn(limit-7)) &^ 3
+		if p.chance(128) {
+			p.emit(isa.StoreImm(isa.SizeW, reg, off, int32(p.r.Intn(1000))))
+		} else {
+			dst := p.scratchReg()
+			p.emit(isa.LoadMem(isa.SizeW, dst, reg, off))
+			p.regs[dst] = genReg{kind: kScalar}
+		}
+	case 5: // variable-offset map value access: mask a scalar, add it
+		base := p.pickReg(func(g genReg) bool { return g.kind == kMapValue })
+		idx := p.pickReg(func(g genReg) bool { return g.kind == kScalar || g.kind == kBounded })
+		if base == 0xff || idx == 0xff {
+			return
+		}
+		m := p.regs[base].m
+		if m.Spec.ValueSize < 16 {
+			return
+		}
+		mask := int32(m.Spec.ValueSize/2 - 1)
+		p.emit(isa.Alu64Imm(isa.ALUAnd, idx, mask))
+		p.regs[idx] = genReg{kind: kBounded, bound: int64(mask)}
+		dst := p.scratchReg()
+		p.emit(isa.Mov64Reg(dst, base))
+		p.emit(isa.Alu64Reg(isa.ALUAdd, dst, idx))
+		p.emit(isa.LoadMem(isa.SizeB, dst, dst, 0))
+		p.regs[dst] = genReg{kind: kScalar}
+	case 6: // context field access
+		p.genCtxAccess()
+	case 7: // packet bounds-check-and-access pattern
+		p.genPacketAccess()
+	case 8: // BTF object field dereference
+		p.genBTFAccess()
+	case 9: // atomic on an initialized stack slot
+		off := p.freshStackSlot(true)
+		src := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if src == 0xff {
+			return
+		}
+		ops := []int32{isa.AtomicAdd, isa.AtomicOr, isa.AtomicAnd, isa.AtomicXor,
+			isa.AtomicAdd | isa.AtomicFetch, isa.AtomicXchg}
+		addr := p.scratchReg()
+		p.emit(isa.Mov64Reg(addr, isa.R10))
+		p.emit(isa.Alu64Imm(isa.ALUAdd, addr, int32(off)))
+		p.regs[addr] = genReg{kind: kPtrStack, val: int64(off)}
+		p.emit(isa.Atomic(isa.SizeDW, addr, src, 0, ops[p.r.Intn(len(ops))]))
+		p.regs[src] = genReg{kind: kScalar}
+	case 10: // byte swap / sign-extending move
+		reg := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if reg == 0xff {
+			return
+		}
+		if p.chance(128) {
+			w := []int32{16, 32, 64}[p.r.Intn(3)]
+			p.emit(isa.Endian(reg, w, p.chance(128)))
+		} else {
+			p.emit(isa.Neg64(reg))
+		}
+		p.regs[reg] = genReg{kind: kScalar}
+	case 11: // risky shapes that probe the verifier's corner cases
+		p.genRiskyOp()
+	case 12: // bound a scalar with a mask, remembering the bound
+		reg := p.pickReg(func(g genReg) bool { return g.kind == kScalar })
+		if reg == 0xff {
+			return
+		}
+		mask := int32(1<<(2+p.r.Intn(5))) - 1
+		p.emit(isa.Alu64Imm(isa.ALUAnd, reg, mask))
+		p.regs[reg] = genReg{kind: kBounded, bound: int64(mask)}
+	case 13: // use an existing bounded scalar as a map-value offset
+		// without re-masking — the range established earlier (possibly
+		// before a kfunc call) must still hold at this point.
+		idx := p.pickReg(func(g genReg) bool { return g.kind == kBounded && g.bound > 0 })
+		base := p.pickReg(func(g genReg) bool { return g.kind == kMapValue })
+		if idx == 0xff || base == 0xff {
+			return
+		}
+		m := p.regs[base].m
+		if int64(m.Spec.ValueSize) <= p.regs[idx].bound {
+			return
+		}
+		dst := p.scratchReg()
+		p.emit(isa.Mov64Reg(dst, base))
+		p.emit(isa.Alu64Reg(isa.ALUAdd, dst, idx))
+		p.emit(isa.LoadMem(isa.SizeB, dst, dst, 0))
+		p.regs[dst] = genReg{kind: kScalar}
+	}
+}
+
+// genCtxAccess reads (or writes, where legal) a context field of the
+// program type's layout.
+func (p *pstate) genCtxAccess() {
+	ctx := p.pickReg(func(g genReg) bool { return g.kind == kCtx })
+	if ctx == 0xff {
+		return
+	}
+	type field struct {
+		off, size int16
+		kind      regKind
+		writable  bool
+	}
+	var fields []field
+	switch p.prog.Type {
+	case isa.ProgTypeSocketFilter, isa.ProgTypeSchedCLS:
+		fields = []field{
+			{0, 4, kScalar, false}, {4, 4, kScalar, false}, {8, 4, kScalar, true},
+			{16, 4, kScalar, false}, {24, 8, kPktData, false}, {32, 8, kPktEnd, false},
+			{40, 4, kScalar, true}, {44, 4, kScalar, true}, {60, 4, kScalar, true},
+		}
+	case isa.ProgTypeXDP:
+		fields = []field{{0, 8, kPktData, false}, {8, 8, kPktEnd, false},
+			{16, 8, kScalar, false}, {24, 4, kScalar, false}}
+	case isa.ProgTypeKprobe, isa.ProgTypePerfEvent:
+		off := int16(8 * p.r.Intn(21))
+		fields = []field{{off, 8, kScalar, false}}
+	case isa.ProgTypeTracepoint:
+		off := int16(8 * p.r.Intn(8))
+		fields = []field{{off, 8, kScalar, false}}
+	case isa.ProgTypeRawTracepoint:
+		fields = []field{
+			{0, 8, kBTFObj, false}, // real task
+			{8, 8, kBTFObj, false}, // the runtime-null trusted pointer
+			{16, 8, kScalar, false}, {24, 8, kScalar, false},
+		}
+	default:
+		return
+	}
+	f := fields[p.r.Intn(len(fields))]
+	if f.writable && p.chance(64) {
+		src := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if src != 0xff {
+			p.emit(isa.StoreMem(isa.SizeW, ctx, src, f.off))
+			return
+		}
+	}
+	dst := p.scratchReg()
+	var sz uint8
+	switch f.size {
+	case 4:
+		sz = isa.SizeW
+	default:
+		sz = isa.SizeDW
+	}
+	p.emit(isa.LoadMem(sz, dst, ctx, f.off))
+	g := genReg{kind: f.kind}
+	if f.kind == kBTFObj {
+		g.btfID = btf.TaskStructID
+	}
+	p.regs[dst] = g
+}
+
+// genPacketAccess emits the canonical data/data_end pattern: load both
+// pointers, bound-check, then access inside the proven range.
+func (p *pstate) genPacketAccess() {
+	ctx := p.pickReg(func(g genReg) bool { return g.kind == kCtx })
+	if ctx == 0xff {
+		return
+	}
+	var dataOff, endOff int16
+	switch p.prog.Type {
+	case isa.ProgTypeSocketFilter, isa.ProgTypeSchedCLS:
+		dataOff, endOff = 24, 32
+	case isa.ProgTypeXDP:
+		dataOff, endOff = 0, 8
+	default:
+		return
+	}
+	data := p.scratchReg()
+	p.emit(isa.LoadMem(isa.SizeDW, data, ctx, dataOff))
+	end := p.scratchRegNot(data)
+	p.emit(isa.LoadMem(isa.SizeDW, end, ctx, endOff))
+	k := int32(1 + p.r.Intn(32))
+	// r4 = data + k; if r4 > end goto skip; <accesses>
+	p.emit(isa.Mov64Reg(isa.R4, data))
+	p.emit(isa.Alu64Imm(isa.ALUAdd, isa.R4, k))
+	nAccess := 1 + p.r.Intn(2)
+	p.emit(isa.JumpReg(isa.JGT, isa.R4, end, int16(nAccess)))
+	for i := 0; i < nAccess; i++ {
+		off := int16(p.r.Intn(int(k)))
+		p.emit(isa.LoadMem(isa.SizeB, isa.R5, data, off))
+	}
+	p.regs[isa.R4] = genReg{kind: kUninit}
+	p.regs[isa.R5] = genReg{kind: kScalar}
+	p.regs[data] = genReg{kind: kPktData, bound: int64(k)}
+	p.regs[end] = genReg{kind: kPktEnd}
+}
+
+func (p *pstate) scratchRegNot(not uint8) uint8 {
+	for i := 0; i < 8; i++ {
+		r := p.scratchReg()
+		if r != not {
+			return r
+		}
+	}
+	if not == isa.R6 {
+		return isa.R7
+	}
+	return isa.R6
+}
+
+// btfFields lists per-type readable fields the generator knows about,
+// mirroring internal/btf's registry.
+var btfFields = map[btf.TypeID][]struct {
+	off, size int16
+	ptr       btf.TypeID
+}{
+	btf.TaskStructID: {
+		{0, 8, 0}, {8, 4, 0}, {12, 4, 0}, {16, 8, 0},
+		{64, 8, btf.TaskStructID}, {72, 8, 0}, {80, 8, 0},
+	},
+	btf.FileID:  {{0, 4, 0}, {4, 4, 0}, {8, 8, 0}},
+	btf.SockID:  {{0, 2, 0}, {4, 4, 0}, {8, 4, 0}, {16, 8, 0}},
+	btf.InodeID: {{0, 2, 0}, {4, 4, 0}, {16, 8, 0}},
+}
+
+// genBTFAccess dereferences a trusted kernel-object pointer at a field
+// boundary — or, in risky mode, past the object (the Bug #2 shape).
+func (p *pstate) genBTFAccess() {
+	reg := p.pickReg(func(g genReg) bool { return g.kind == kBTFObj })
+	if reg == 0xff {
+		return
+	}
+	id := p.regs[reg].btfID
+	fields := btfFields[id]
+	if len(fields) == 0 {
+		return
+	}
+	dst := p.scratchReg()
+	if p.chance(p.cfg.Risky) {
+		// Out-of-bounds read: rejected unless the verifier's bound is
+		// wrong (task_struct, Bug #2).
+		p.emit(isa.LoadMem(isa.SizeDW, dst, reg, int16(256+8*p.r.Intn(4))))
+		p.regs[dst] = genReg{kind: kScalar}
+		return
+	}
+	f := fields[p.r.Intn(len(fields))]
+	var sz uint8
+	switch f.size {
+	case 2:
+		sz = isa.SizeH
+	case 4:
+		sz = isa.SizeW
+	default:
+		sz = isa.SizeDW
+	}
+	p.emit(isa.LoadMem(sz, dst, reg, f.off))
+	if f.ptr != 0 && f.size == 8 {
+		p.regs[dst] = genReg{kind: kBTFObj, btfID: f.ptr}
+	} else {
+		p.regs[dst] = genReg{kind: kScalar}
+	}
+}
+
+// genRiskyOp emits shapes that exercise the verifier's subtle paths; they
+// are usually rejected on a correct verifier and become runtime anomalies
+// on a buggy one.
+func (p *pstate) genRiskyOp() {
+	if p.cfg.Risky < 0 {
+		return // ablated
+	}
+	switch p.r.Intn(3) {
+	case 0:
+		// The Listing 1 operation pattern: arithmetic on a nullable map
+		// value *before* the null check (the CVE-2022-23222 shape). On
+		// the buggy verifier the null branch believes the register is
+		// zero even though the offset shifted it.
+		reg := p.pickReg(func(g genReg) bool { return g.kind == kMapValueOrNull })
+		if reg == 0xff {
+			m := p.pickMap(maps.Hash)
+			if m == nil || p.cfg.DisableCallFrames {
+				return
+			}
+			base := p.initStackRegion(int(m.Spec.KeySize))
+			p.emit(
+				isa.LoadMapFD(isa.R1, m.FD),
+				isa.Mov64Reg(isa.R2, isa.R10),
+				isa.Alu64Imm(isa.ALUAdd, isa.R2, int32(base)),
+				isa.Call(helpers.MapLookupElem),
+			)
+			p.clobberCallerSaved()
+			reg = p.scratchReg()
+			p.emit(isa.Mov64Reg(reg, isa.R0))
+			p.regs[reg] = genReg{kind: kMapValueOrNull, m: m}
+			p.regs[isa.R0] = genReg{kind: kUninit}
+		}
+		p.emit(isa.Alu64Imm(isa.ALUAdd, reg, int32(1+p.r.Intn(16))))
+		dst := p.scratchRegNot(reg)
+		p.emit(
+			isa.JumpImm(isa.JNE, reg, 0, 2),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+			isa.LoadMem(isa.SizeDW, dst, reg, 0),
+		)
+		p.regs[dst] = genReg{kind: kScalar}
+		p.regs[reg] = genReg{kind: kMapValue, m: p.regs[reg].m}
+	case 1:
+		// The Listing 2 operation pattern: equality comparison between
+		// a nullable map value and a trusted BTF pointer, dereferencing
+		// on the equal edge (the Bug #1 shape). If no suitable nullable
+		// pointer is parked, a fresh lookup materializes one.
+		bt := p.pickReg(func(g genReg) bool { return g.kind == kBTFObj })
+		if bt == 0xff {
+			ctx := p.pickReg(func(g genReg) bool { return g.kind == kCtx })
+			if ctx == 0xff || p.prog.Type != isa.ProgTypeRawTracepoint {
+				return
+			}
+			bt = p.scratchReg()
+			p.emit(isa.LoadMem(isa.SizeDW, bt, ctx, int16(8*p.r.Intn(2))))
+			p.regs[bt] = genReg{kind: kBTFObj, btfID: btf.TaskStructID}
+		}
+		mv := p.pickReg(func(g genReg) bool { return g.kind == kMapValueOrNull })
+		if mv == 0xff {
+			m := p.pickMap(maps.Hash)
+			if m == nil || p.cfg.DisableCallFrames {
+				return
+			}
+			base := p.initStackRegion(int(m.Spec.KeySize))
+			p.emit(
+				isa.LoadMapFD(isa.R1, m.FD),
+				isa.Mov64Reg(isa.R2, isa.R10),
+				isa.Alu64Imm(isa.ALUAdd, isa.R2, int32(base)),
+				isa.Call(helpers.MapLookupElem),
+			)
+			p.clobberCallerSaved()
+			mv = isa.R0
+			p.regs[mv] = genReg{kind: kMapValueOrNull, m: m}
+		}
+		if mv == bt {
+			return
+		}
+		dst := p.scratchRegNot(bt)
+		// The dereference lands in a scratch register so the nullable
+		// pointer is not reused as a scalar on the not-equal path.
+		p.emit(
+			isa.JumpReg(isa.JNE, mv, bt, 1),
+			isa.LoadMem(isa.SizeDW, dst, mv, 0),
+		)
+		p.regs[dst] = genReg{kind: kScalar}
+		if mv == isa.R0 {
+			p.regs[isa.R0] = genReg{kind: kUninit}
+		}
+	case 2:
+		// Unchecked dereference of a nullable pointer.
+		mv := p.pickReg(func(g genReg) bool { return g.kind == kMapValueOrNull })
+		if mv == 0xff {
+			return
+		}
+		dst := p.scratchReg()
+		p.emit(isa.LoadMem(isa.SizeDW, dst, mv, 0))
+		p.regs[dst] = genReg{kind: kScalar}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Jump frame
+
+// genJumpFrame emits either a forward conditional skip over nested frames
+// or a bounded back-edge loop around them (§4.1).
+func (p *pstate) genJumpFrame(depth int) {
+	if p.chance(64) {
+		p.genLoopFrame(depth)
+		return
+	}
+	// Forward skip: emit the condition with a placeholder offset, then
+	// the inner body, then patch the offset to the body's slot length.
+	cond := p.genCondInsn()
+	condIdx := len(p.prog.Insns)
+	p.emit(cond)
+	startSlots := p.prog.Slots()
+	inner := 1 + p.r.Intn(2)
+	for i := 0; i < inner; i++ {
+		p.genFrame(depth + 1)
+	}
+	bodySlots := p.prog.Slots() - startSlots
+	if bodySlots > 32767 {
+		bodySlots = 0
+	}
+	p.prog.Insns[condIdx].Off = int16(bodySlots)
+}
+
+// genCondInsn builds a conditional jump usable as a frame header; the
+// offset is patched by the caller.
+func (p *pstate) genCondInsn() isa.Instruction {
+	ops := []uint8{isa.JEQ, isa.JNE, isa.JGT, isa.JGE, isa.JLT, isa.JLE,
+		isa.JSGT, isa.JSGE, isa.JSLT, isa.JSLE, isa.JSET}
+	op := ops[p.r.Intn(len(ops))]
+	dst := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+	if dst == 0xff {
+		dst = p.scratchReg()
+		p.emit(isa.Mov64Imm(dst, int32(p.r.Intn(100))))
+		p.regs[dst] = genReg{kind: kConst, val: int64(p.r.Intn(100))}
+	}
+	if p.chance(96) {
+		src := p.pickReg(func(g genReg) bool { return isScalarKind(g.kind) })
+		if src != 0xff {
+			if p.chance(64) {
+				return isa.Jump32Reg(op, dst, src, 0)
+			}
+			return isa.JumpReg(op, dst, src, 0)
+		}
+	}
+	imm := int32(p.r.Intn(1 << 12))
+	if p.chance(64) {
+		return isa.Jump32Imm(op, dst, imm, 0)
+	}
+	return isa.JumpImm(op, dst, imm, 0)
+}
+
+// genLoopFrame emits a bounded loop: a counter register is zeroed, the
+// body runs, the counter increments, and a backward jump repeats while
+// the counter is below a small immediate bound — the paper's strategy for
+// avoiding unbounded loops.
+func (p *pstate) genLoopFrame(depth int) {
+	cnt := p.scratchReg()
+	p.emit(isa.Mov64Imm(cnt, 0))
+	p.regs[cnt] = genReg{kind: kLoopCnt}
+	startSlots := p.prog.Slots()
+	inner := 1 + p.r.Intn(2)
+	for i := 0; i < inner; i++ {
+		if p.chance(160) || p.cfg.DisableCallFrames {
+			p.genBasicFrame()
+		} else {
+			p.genCallFrame()
+		}
+	}
+	bound := int32(2 + p.r.Intn(6))
+	if p.regs[cnt].kind != kLoopCnt {
+		// The body clobbered the counter (all callee-saved registers
+		// were live); degrade to straight-line code.
+		return
+	}
+	p.emit(isa.Alu64Imm(isa.ALUAdd, cnt, 1))
+	bodySlots := p.prog.Slots() - startSlots
+	if bodySlots > 30000 {
+		return
+	}
+	p.emit(isa.JumpImm(isa.JLT, cnt, bound, int16(-(bodySlots + 1))))
+	p.regs[cnt] = genReg{kind: kBounded, bound: int64(bound)}
+}
+
+// ---------------------------------------------------------------------
+// Call frame
+
+// helperMenu lists helper ids the call frame can build arguments for.
+var helperMenu = []int32{
+	helpers.TailCall,
+	helpers.MapLookupElem, helpers.MapUpdateElem, helpers.MapDeleteElem,
+	helpers.KtimeGetNS, helpers.GetPrandomU32, helpers.GetSmpProcessorID,
+	helpers.GetCurrentPidTgid, helpers.GetCurrentUidGid, helpers.GetCurrentComm,
+	helpers.GetCurrentTask, helpers.GetCurrentTaskBTF, helpers.TracePrintk,
+	helpers.MapPushElem, helpers.MapPopElem, helpers.MapPeekElem,
+	helpers.SendSignal, helpers.ProbeReadKernel, helpers.RingbufOutput,
+	helpers.SpinLock, helpers.SpinUnlock, helpers.TaskStorageGet,
+	helpers.ProbeRead, helpers.SkbLoadBytes, helpers.PerfEventOutput,
+	helpers.GetNumaNodeID, helpers.GetSocketUID, helpers.KtimeGetBootNS,
+	helpers.Jiffies64,
+}
+
+// genCallFrame emits one helper or kfunc invocation with prototype-driven
+// argument loading (§4.1, part (4)).
+func (p *pstate) genCallFrame() {
+	if p.cfg.Kfuncs && p.chance(48) {
+		p.genKfuncCall()
+		return
+	}
+	if p.chance(24) {
+		if p.genRingbufPattern() {
+			return
+		}
+	}
+	// A few attempts to find a helper whose arguments we can satisfy.
+	for attempt := 0; attempt < 4; attempt++ {
+		id := helperMenu[p.r.Intn(len(helperMenu))]
+		if p.tryHelperCall(id) {
+			return
+		}
+	}
+	// Fall back to an argument-free helper.
+	p.finishCall(isa.Call(helpers.KtimeGetNS), helpers.RetInteger, nil)
+}
+
+// tryHelperCall builds the argument registers for helper id; it returns
+// false (emitting nothing) when a required resource is unavailable.
+func (p *pstate) tryHelperCall(id int32) bool {
+	reg := helperRegistry.ByID(id)
+	if reg == nil {
+		return false
+	}
+	// Build into a staging list so aborts leave no partial garbage.
+	mark := len(p.prog.Insns)
+	var m *MapHandle
+	ok := true
+	for ai, at := range reg.Args {
+		arg := uint8(isa.R1 + uint8(ai))
+		switch at {
+		case helpers.ArgConstMapPtr:
+			m = p.mapForHelper(id)
+			if m == nil {
+				ok = false
+				break
+			}
+			p.emit(isa.LoadMapFD(arg, m.FD))
+		case helpers.ArgMapKey:
+			if m == nil || m.Spec.KeySize == 0 {
+				if m != nil && m.Spec.KeySize == 0 {
+					p.emit(isa.Mov64Imm(arg, 0))
+					continue
+				}
+				ok = false
+				break
+			}
+			base := p.initStackRegion(int(m.Spec.KeySize))
+			p.emit(isa.Mov64Reg(arg, isa.R10), isa.Alu64Imm(isa.ALUAdd, arg, int32(base)))
+		case helpers.ArgMapValue:
+			if m == nil {
+				ok = false
+				break
+			}
+			size := int(m.Spec.ValueSize)
+			if size == 0 {
+				size = 8
+			}
+			if size > 128 {
+				ok = false
+				break
+			}
+			base := p.initStackRegion(size)
+			p.emit(isa.Mov64Reg(arg, isa.R10), isa.Alu64Imm(isa.ALUAdd, arg, int32(base)))
+		case helpers.ArgPtrToMem, helpers.ArgPtrToUninitMem:
+			size := 8 * (1 + p.r.Intn(3))
+			base := p.initStackRegion(size)
+			p.emit(isa.Mov64Reg(arg, isa.R10), isa.Alu64Imm(isa.ALUAdd, arg, int32(base)))
+			// The following ArgSize argument uses this size.
+			p.pendingSize = int32(size)
+		case helpers.ArgSize:
+			p.emit(isa.Mov64Imm(arg, p.pendingSize))
+		case helpers.ArgScalar, helpers.ArgAnything:
+			p.emit(isa.Mov64Imm(arg, int32(p.r.Intn(64))))
+		case helpers.ArgPtrToCtx:
+			src := p.pickReg(func(g genReg) bool { return g.kind == kCtx })
+			if src == 0xff {
+				ok = false
+				break
+			}
+			p.emit(isa.Mov64Reg(arg, src))
+		case helpers.ArgBTFTask:
+			src := p.pickReg(func(g genReg) bool {
+				return g.kind == kBTFObj && g.btfID == btf.TaskStructID
+			})
+			if src == 0xff {
+				if !helpers.TracingProgTypes[p.prog.Type] {
+					ok = false
+					break
+				}
+				// Materialize the current task first.
+				p.emit(isa.Call(helpers.GetCurrentTaskBTF))
+				p.emit(isa.Mov64Reg(arg, isa.R0))
+			} else {
+				p.emit(isa.Mov64Reg(arg, src))
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if !ok {
+		p.prog.Insns = p.prog.Insns[:mark]
+		return false
+	}
+	p.finishCall(isa.Call(id), reg.Ret, m)
+	return true
+}
+
+// mapForHelper picks a map type suitable for the helper's semantics.
+func (p *pstate) mapForHelper(id int32) *MapHandle {
+	switch id {
+	case helpers.MapPushElem, helpers.MapPopElem, helpers.MapPeekElem:
+		if m := p.pickMap(maps.Queue); m != nil {
+			return m
+		}
+		return p.pickMap(maps.Stack)
+	case helpers.RingbufOutput:
+		return p.pickMap(maps.RingBuf)
+	case helpers.TailCall:
+		return p.pickMap(maps.ProgArray)
+	case helpers.MapDeleteElem, helpers.TaskStorageGet:
+		return p.pickMap(maps.Hash)
+	default:
+		switch p.r.Intn(3) {
+		case 0:
+			if m := p.pickMap(maps.Hash); m != nil {
+				return m
+			}
+		case 1:
+			if m := p.pickMap(maps.PerCPUArray); m != nil {
+				return m
+			}
+		}
+		return p.pickMap(maps.Array)
+	}
+}
+
+// finishCall emits the call instruction and models its effects: R1-R5
+// clobbered, R0 per the return type, plus the usual null-check pattern on
+// nullable returns (with a risky chance of skipping it).
+func (p *pstate) finishCall(call isa.Instruction, ret helpers.RetType, m *MapHandle) {
+	p.emit(call)
+	for r := isa.R1; r <= isa.R5; r++ {
+		p.regs[r] = genReg{kind: kUninit}
+	}
+	switch ret {
+	case helpers.RetInteger:
+		p.regs[isa.R0] = genReg{kind: kScalar}
+	case helpers.RetVoid:
+		p.regs[isa.R0] = genReg{kind: kUninit}
+	case helpers.RetBTFTask:
+		p.regs[isa.R0] = genReg{kind: kBTFObj, btfID: btf.TaskStructID}
+		if p.chance(192) {
+			dst := p.scratchReg()
+			p.emit(isa.Mov64Reg(dst, isa.R0))
+			p.regs[dst] = p.regs[isa.R0]
+		}
+	case helpers.RetMapValueOrNull:
+		p.regs[isa.R0] = genReg{kind: kMapValueOrNull, m: m}
+		if p.chance(256 - p.cfg.Risky) {
+			// Null check, then park the value in a callee-saved reg.
+			p.emit(
+				isa.JumpImm(isa.JNE, isa.R0, 0, 2),
+				isa.Mov64Imm(isa.R0, 0),
+				isa.Exit(),
+			)
+			p.regs[isa.R0] = genReg{kind: kMapValue, m: m}
+			dst := p.scratchReg()
+			p.emit(isa.Mov64Reg(dst, isa.R0))
+			p.regs[dst] = p.regs[isa.R0]
+		} else if p.chance(128) {
+			// Park it unchecked: risky ops may compare or deref it.
+			dst := p.scratchReg()
+			p.emit(isa.Mov64Reg(dst, isa.R0))
+			p.regs[dst] = p.regs[isa.R0]
+		}
+	}
+}
+
+// genRingbufPattern emits the reserve / null-check / fill / submit
+// sequence, the canonical ringbuf usage whose reference accounting
+// exercises the verifier's acquire/release tracking.
+func (p *pstate) genRingbufPattern() bool {
+	m := p.pickMap(maps.RingBuf)
+	if m == nil {
+		return false
+	}
+	size := int32(8 * (1 + p.r.Intn(3)))
+	hold := p.scratchReg()
+	p.emit(
+		isa.LoadMapFD(isa.R1, m.FD),
+		isa.Mov64Imm(isa.R2, size),
+		isa.Mov64Imm(isa.R3, 0),
+		isa.Call(helpers.RingbufReserve),
+		isa.JumpImm(isa.JNE, isa.R0, 0, 2),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+		isa.Mov64Reg(hold, isa.R0),
+	)
+	// Fill a few slots of the record.
+	for off := int16(0); off < int16(size); off += 8 {
+		if p.chance(160) {
+			p.emit(isa.StoreImm(isa.SizeDW, hold, off, int32(p.r.Intn(1000))))
+		}
+	}
+	discard := helpers.RingbufSubmit
+	if p.chance(48) {
+		discard = helpers.RingbufDiscard
+	}
+	p.emit(
+		isa.Mov64Reg(isa.R1, hold),
+		isa.Mov64Imm(isa.R2, 0),
+		isa.Call(discard),
+	)
+	p.regs[hold] = genReg{kind: kUninit}
+	p.clobberCallerSaved()
+	p.regs[isa.R0] = genReg{kind: kUninit}
+	return true
+}
+
+// genKfuncCall emits one of the known kernel-function patterns.
+func (p *pstate) genKfuncCall() {
+	switch p.r.Intn(3) {
+	case 0:
+		// Acquire / null-check / use / release, self-contained.
+		p.emit(isa.Mov64Imm(isa.R1, 1000))
+		p.emit(isa.CallKfunc(int32(btf.KfuncTaskFromPid)))
+		p.emit(
+			isa.JumpImm(isa.JNE, isa.R0, 0, 2),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+		)
+		hold := p.scratchReg()
+		p.emit(isa.Mov64Reg(hold, isa.R0))
+		if p.chance(128) {
+			p.emit(isa.LoadMem(isa.SizeW, isa.R5, hold, 8)) // task->pid
+		}
+		p.emit(isa.Mov64Reg(isa.R1, hold))
+		p.emit(isa.CallKfunc(int32(btf.KfuncTaskRelease)))
+		p.regs[hold] = genReg{kind: kUninit}
+		for r := isa.R0; r <= isa.R5; r++ {
+			p.regs[r] = genReg{kind: kUninit}
+		}
+		p.regs[isa.R0] = genReg{kind: kScalar}
+	case 1:
+		// RCU bracket around a basic frame.
+		p.emit(isa.CallKfunc(int32(btf.KfuncRcuReadLock)))
+		p.clobberCallerSaved()
+		p.genBasicFrame()
+		p.emit(isa.CallKfunc(int32(btf.KfuncRcuReadUnlock)))
+		p.clobberCallerSaved()
+	default:
+		// Acquire a task reference from a trusted pointer.
+		src := p.pickReg(func(g genReg) bool {
+			return g.kind == kBTFObj && g.btfID == btf.TaskStructID
+		})
+		if src == 0xff {
+			p.emit(isa.CallKfunc(int32(btf.KfuncRcuReadLock)))
+			p.emit(isa.CallKfunc(int32(btf.KfuncRcuReadUnlock)))
+			p.clobberCallerSaved()
+			return
+		}
+		p.emit(isa.Mov64Reg(isa.R1, src))
+		p.emit(isa.CallKfunc(int32(btf.KfuncTaskAcquire)))
+		p.emit(
+			isa.JumpImm(isa.JNE, isa.R0, 0, 2),
+			isa.Mov64Imm(isa.R0, 0),
+			isa.Exit(),
+		)
+		p.emit(isa.Mov64Reg(isa.R1, isa.R0))
+		p.emit(isa.CallKfunc(int32(btf.KfuncTaskRelease)))
+		p.clobberCallerSaved()
+	}
+}
+
+func (p *pstate) clobberCallerSaved() {
+	for r := isa.R1; r <= isa.R5; r++ {
+		p.regs[r] = genReg{kind: kUninit}
+	}
+	p.regs[isa.R0] = genReg{kind: kScalar}
+}
+
+// helperRegistry is a process-wide prototype table for argument shapes;
+// runtime behaviour always comes from the per-kernel registry.
+var helperRegistry = helpers.NewRegistry()

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/maps"
+)
+
+// Reproducer minimization: the paper only reports bugs with *stable
+// reproducers* (§6.1), and its triage works from the "guilty instruction"
+// backwards (§6.5). Minimize automates the first step of that triage by
+// shrinking a bug-triggering program while the same seeded bug keeps
+// firing on a fresh kernel.
+
+// Reproducer couples a bug id with a checker that rebuilds a pristine
+// kernel and reports whether a candidate program still triggers the bug.
+type Reproducer struct {
+	Bug bugs.ID
+	// Check loads and runs prog on a fresh kernel, returning true when
+	// the same bug is triggered.
+	Check func(prog *isa.Program) bool
+}
+
+// Minimize removes instructions from prog while Check keeps succeeding,
+// iterating to a fixpoint (bounded by maxRounds full passes). The result
+// always still triggers: every removal is validated before being kept.
+func Minimize(rep *Reproducer, prog *isa.Program, maxRounds int) *isa.Program {
+	cur := prog.Clone()
+	if maxRounds <= 0 {
+		maxRounds = 4
+	}
+	for round := 0; round < maxRounds; round++ {
+		shrunk := false
+		// Walk back to front so indices stay stable across removals.
+		for i := len(cur.Insns) - 1; i >= 0; i-- {
+			cand, err := isa.RemoveAt(cur, i)
+			if err != nil || cand.Validate(isa.MaxInsns) != nil {
+				continue
+			}
+			if rep.Check(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cur
+}
+
+// NewReproducer builds a Reproducer for one seeded bug against the given
+// kernel version with the standard resource pool. Each Check call uses a
+// pristine kernel so no cross-run state leaks into the verdict.
+func NewReproducer(version kernel.Version, override bugs.Set, sanitize bool, bug bugs.ID) *Reproducer {
+	return &Reproducer{
+		Bug: bug,
+		Check: func(prog *isa.Program) bool {
+			k := kernel.New(kernel.Config{Version: version, Bugs: override, Sanitize: sanitize})
+			for _, spec := range poolSpecs {
+				if _, err := k.CreateMap(spec); err != nil {
+					return false
+				}
+			}
+			installTailTarget(k)
+			lp, err := k.LoadProgram(prog)
+			if err != nil {
+				// Load-time bugs (the kmemdup warning) classify from
+				// the error itself.
+				if a := kernel.Classify(err); a != nil {
+					return k.Triage(a, prog) == bug
+				}
+				return false
+			}
+			for run := 0; run < 2; run++ {
+				out := k.Run(lp)
+				if a := kernel.Classify(out.Err); a != nil {
+					return k.Triage(a, prog) == bug
+				}
+			}
+			return false
+		},
+	}
+}
+
+// installTailTarget mirrors the campaign's prog-array setup so tail-call
+// reproducers stay reproducible.
+func installTailTarget(k *kernel.Kernel) {
+	target := &isa.Program{
+		Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Name: "tail_target",
+		Insns: []isa.Instruction{isa.Mov64Imm(isa.R0, 1), isa.Exit()},
+	}
+	lp, err := k.LoadProgram(target)
+	if err != nil {
+		return
+	}
+	for fd := int32(3); fd < 16; fd++ {
+		if m := k.MapByFD(fd); m != nil && m.Type == maps.ProgArray {
+			_ = k.SetProgArraySlot(fd, 0, lp.FD)
+		}
+	}
+}

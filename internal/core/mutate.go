@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Mutate applies one validity-preserving mutation to a corpus program and
+// returns the mutant (the original is never modified). The operators
+// mirror §4.1's description: immediate tweaks, and duplication of
+// adjacent instructions to simulate unrolled loops.
+func Mutate(r *rand.Rand, p *isa.Program) *isa.Program {
+	for attempt := 0; attempt < 4; attempt++ {
+		q := p.Clone()
+		var ok bool
+		switch r.Intn(4) {
+		case 0:
+			ok = mutateImm(r, q)
+		case 1:
+			q, ok = mutateDup(r, q)
+		case 2:
+			ok = mutateStoreValue(r, q)
+		case 3:
+			ok = mutateAttach(r, q)
+		}
+		if ok && q.Validate(isa.MaxInsns) == nil {
+			return q
+		}
+	}
+	return p.Clone()
+}
+
+// mutateImm perturbs the immediate of one ALU or store instruction.
+func mutateImm(r *rand.Rand, p *isa.Program) bool {
+	var cand []int
+	for i, ins := range p.Insns {
+		cls := ins.Class()
+		if (cls == isa.ClassALU || cls == isa.ClassALU64) &&
+			isa.Src(ins.Opcode) == isa.SrcK && isa.Op(ins.Opcode) != isa.ALUEnd {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return false
+	}
+	i := cand[r.Intn(len(cand))]
+	ins := &p.Insns[i]
+	switch isa.Op(ins.Opcode) {
+	case isa.ALUDiv, isa.ALUMod:
+		ins.Imm = int32(1 + r.Intn(1<<16)) // keep nonzero
+	case isa.ALULsh, isa.ALURsh, isa.ALUArsh:
+		width := int32(63)
+		if ins.Class() == isa.ClassALU {
+			width = 31
+		}
+		ins.Imm = int32(r.Intn(int(width)))
+	default:
+		switch r.Intn(4) {
+		case 0:
+			ins.Imm++
+		case 1:
+			ins.Imm = -ins.Imm
+		case 2:
+			ins.Imm = int32(r.Uint32())
+		default:
+			ins.Imm ^= 1 << uint(r.Intn(31))
+		}
+	}
+	return true
+}
+
+// mutateDup duplicates one non-control-flow instruction in place,
+// patching every affected jump — the paper's "simulating unrolled loops
+// by duplicating adjacent instructions".
+func mutateDup(r *rand.Rand, p *isa.Program) (*isa.Program, bool) {
+	var cand []int
+	for i, ins := range p.Insns {
+		cls := ins.Class()
+		if cls == isa.ClassALU || cls == isa.ClassALU64 ||
+			((cls == isa.ClassST || cls == isa.ClassSTX) && !ins.IsAtomic()) {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return p, false
+	}
+	i := cand[r.Intn(len(cand))]
+	q, err := isa.InsertAt(p, i, p.Insns[i])
+	if err != nil {
+		return p, false
+	}
+	return q, true
+}
+
+// mutateStoreValue changes the stored immediate of a ST instruction.
+func mutateStoreValue(r *rand.Rand, p *isa.Program) bool {
+	var cand []int
+	for i, ins := range p.Insns {
+		if ins.Class() == isa.ClassST && isa.Mode(ins.Opcode) == isa.ModeMEM {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return false
+	}
+	p.Insns[cand[r.Intn(len(cand))]].Imm = int32(r.Uint32())
+	return true
+}
+
+// mutateAttach retargets a tracing program's attach point among the
+// ordinary hooks. Restricted hooks (contention_begin, the printk
+// tracepoint) are the province of BVF's structured attach selection
+// (§4.1); a generic mutator reaching them would hand every corpus-based
+// fuzzer the attach-restriction bugs for free.
+func mutateAttach(r *rand.Rand, p *isa.Program) bool {
+	if p.Type != isa.ProgTypeKprobe && p.Type != isa.ProgTypeTracepoint {
+		return false
+	}
+	targets := []string{"sched_switch", "sys_enter", "kprobe:generic"}
+	p.AttachTo = targets[r.Intn(len(targets))]
+	return true
+}

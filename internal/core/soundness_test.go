@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/kernel"
+)
+
+// TestVerifierR0Soundness is a whole-system soundness fuzz: for thousands
+// of BVF-generated programs accepted by the *fixed* verifier, the runtime
+// return value must fall inside the verifier's recorded exit-value belief
+// (the union over all explored paths). Any escape is a range-analysis
+// soundness bug in the verifier model — the same class of defect the
+// alu_limit oracle hunts in the kernel.
+func TestVerifierR0Soundness(t *testing.T) {
+	c := NewCampaign(CampaignConfig{
+		Source: BVFSource(true), Version: kernel.BPFNext,
+		OverrideBugs: bugs.None(), Sanitize: false, Seed: 404,
+	})
+	if err := c.recycle(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(GenConfig{Maps: c.pool, Kfuncs: true})
+	r := rand.New(rand.NewSource(404))
+
+	checked := 0
+	for i := 0; i < 30000 && checked < 6000; i++ {
+		prog := g.Generate(r)
+		lp, err := c.k.LoadProgram(prog)
+		if err != nil {
+			continue
+		}
+		out := c.k.Run(lp)
+		if out.Err != nil {
+			// Resource-limit aborts are not return events.
+			continue
+		}
+		checked++
+		if !lp.Res.R0Bounds.Contains(out.R0) {
+			t.Fatalf("R0 soundness violated: runtime %#x outside belief %+v\n%s",
+				out.R0, lp.Res.R0Bounds, prog)
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d programs reached the check", checked)
+	}
+	t.Logf("checked %d accepted programs", checked)
+}

@@ -1,0 +1,154 @@
+// Package coverage provides kcov-style branch coverage collection for the
+// verifier model. Every decision site in the verifier reports a stable site
+// identifier; the map records which sites a verification run exercised, and
+// campaigns merge per-run maps to track global progress, exactly as the
+// paper's Figure 6 / Table 3 experiments do with kcov over the eBPF
+// subsystem.
+package coverage
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Site is a stable identifier for one branch site in the instrumented code.
+type Site uint64
+
+// SiteOf derives a Site from a static location string such as
+// "check_alu:ptr+scalar". Call sites should pass compile-time constants so
+// identifiers are stable across runs.
+func SiteOf(loc string) Site {
+	h := fnv.New64a()
+	h.Write([]byte(loc))
+	return Site(h.Sum64())
+}
+
+// Map records the set of covered sites. A Map is safe for concurrent use.
+type Map struct {
+	mu    sync.RWMutex
+	sites map[Site]uint64 // hit counts
+}
+
+// NewMap returns an empty coverage map.
+func NewMap() *Map {
+	return &Map{sites: make(map[Site]uint64)}
+}
+
+// Hit records one execution of the given site.
+func (m *Map) Hit(s Site) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.sites[s]++
+	m.mu.Unlock()
+}
+
+// HitLoc records one execution of the site named by loc.
+func (m *Map) HitLoc(loc string) { m.Hit(SiteOf(loc)) }
+
+// Count returns the number of distinct covered sites.
+func (m *Map) Count() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sites)
+}
+
+// Covered reports whether s has been hit at least once.
+func (m *Map) Covered(s Site) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.sites[s]
+	return ok
+}
+
+// Hits returns the hit count of s.
+func (m *Map) Hits(s Site) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.sites[s]
+}
+
+// Merge adds every site of other into m and returns the number of sites
+// that were new to m. Fuzzing engines use the return value as the "new
+// coverage" feedback signal.
+func (m *Map) Merge(other *Map) int {
+	if m == nil || other == nil {
+		return 0
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fresh := 0
+	for s, n := range other.sites {
+		if _, ok := m.sites[s]; !ok {
+			fresh++
+		}
+		m.sites[s] += n
+	}
+	return fresh
+}
+
+// Diff returns the number of sites covered by other but not by m, without
+// modifying either map.
+func (m *Map) Diff(other *Map) int {
+	if other == nil {
+		return 0
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fresh := 0
+	for s := range other.sites {
+		if _, ok := m.sites[s]; !ok {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// Reset clears all recorded coverage.
+func (m *Map) Reset() {
+	m.mu.Lock()
+	m.sites = make(map[Site]uint64)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the covered sites in deterministic (sorted) order.
+func (m *Map) Snapshot() []Site {
+	m.mu.RLock()
+	out := make([]Site, 0, len(m.sites))
+	for s := range m.sites {
+		out = append(out, s)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Signature returns a 64-bit digest of the covered-site set, used by
+// corpora to deduplicate inputs by coverage profile.
+func (m *Map) Signature() uint64 {
+	snap := m.Snapshot()
+	h := fnv.New64a()
+	var b [8]byte
+	for _, s := range snap {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(s) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,171 @@
+package isa
+
+// This file provides typed constructors for every instruction form the
+// generator, the examples and the rewrite passes need. Names follow the
+// kernel's BPF_* macro vocabulary, adapted to Go.
+
+// Mov64Reg returns dst = src (64-bit).
+func Mov64Reg(dst, src uint8) Instruction {
+	return Instruction{Opcode: ClassALU64 | SrcX | ALUMov, Dst: dst, Src: src}
+}
+
+// Mov64Imm returns dst = imm (sign-extended to 64 bits).
+func Mov64Imm(dst uint8, imm int32) Instruction {
+	return Instruction{Opcode: ClassALU64 | SrcK | ALUMov, Dst: dst, Imm: imm}
+}
+
+// Mov32Reg returns w_dst = w_src (upper 32 bits zeroed).
+func Mov32Reg(dst, src uint8) Instruction {
+	return Instruction{Opcode: ClassALU | SrcX | ALUMov, Dst: dst, Src: src}
+}
+
+// Mov32Imm returns w_dst = imm (upper 32 bits zeroed).
+func Mov32Imm(dst uint8, imm int32) Instruction {
+	return Instruction{Opcode: ClassALU | SrcK | ALUMov, Dst: dst, Imm: imm}
+}
+
+// Alu64Reg returns dst <op>= src (64-bit).
+func Alu64Reg(op, dst, src uint8) Instruction {
+	return Instruction{Opcode: ClassALU64 | SrcX | op, Dst: dst, Src: src}
+}
+
+// Alu64Imm returns dst <op>= imm (64-bit).
+func Alu64Imm(op, dst uint8, imm int32) Instruction {
+	return Instruction{Opcode: ClassALU64 | SrcK | op, Dst: dst, Imm: imm}
+}
+
+// Alu32Reg returns w_dst <op>= w_src.
+func Alu32Reg(op, dst, src uint8) Instruction {
+	return Instruction{Opcode: ClassALU | SrcX | op, Dst: dst, Src: src}
+}
+
+// Alu32Imm returns w_dst <op>= imm.
+func Alu32Imm(op, dst uint8, imm int32) Instruction {
+	return Instruction{Opcode: ClassALU | SrcK | op, Dst: dst, Imm: imm}
+}
+
+// Neg64 returns dst = -dst (64-bit).
+func Neg64(dst uint8) Instruction {
+	return Instruction{Opcode: ClassALU64 | ALUNeg, Dst: dst}
+}
+
+// Endian returns a byte-swap of the given width (16, 32 or 64); toBE selects
+// the "to big endian" form.
+func Endian(dst uint8, width int32, toBE bool) Instruction {
+	op := uint8(ClassALU | ALUEnd)
+	if toBE {
+		op |= SrcX
+	}
+	return Instruction{Opcode: op, Dst: dst, Imm: width}
+}
+
+// LoadImm64 returns the two-slot dst = imm64.
+func LoadImm64(dst uint8, imm uint64) Instruction {
+	return Instruction{
+		Opcode: ClassLD | ModeIMM | SizeDW,
+		Dst:    dst,
+		Imm:    int32(uint32(imm)),
+		Imm64:  imm,
+	}
+}
+
+// LoadMapFD returns the pseudo instruction that resolves a map file
+// descriptor into a map pointer during verification.
+func LoadMapFD(dst uint8, fd int32) Instruction {
+	ins := LoadImm64(dst, uint64(uint32(fd)))
+	ins.Src = PseudoMapFD
+	return ins
+}
+
+// LoadMapValue returns the pseudo instruction that resolves directly to a
+// pointer into a map's value area at the given offset.
+func LoadMapValue(dst uint8, fd int32, off uint32) Instruction {
+	ins := Instruction{
+		Opcode: ClassLD | ModeIMM | SizeDW,
+		Dst:    dst,
+		Src:    PseudoMapValue,
+		Imm:    fd,
+		Imm64:  uint64(uint32(fd)) | uint64(off)<<32,
+	}
+	return ins
+}
+
+// LoadBTFID returns the pseudo instruction that resolves to a pointer to a
+// kernel object identified by a BTF type id.
+func LoadBTFID(dst uint8, btfID int32) Instruction {
+	ins := LoadImm64(dst, uint64(uint32(btfID)))
+	ins.Src = PseudoBTFID
+	return ins
+}
+
+// LoadMem returns dst = *(size *)(src + off).
+func LoadMem(size uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Opcode: ClassLDX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// LoadMemSX returns the sign-extending dst = *(s-size *)(src + off).
+func LoadMemSX(size uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Opcode: ClassLDX | ModeMEMSX | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem returns *(size *)(dst + off) = src.
+func StoreMem(size uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Opcode: ClassSTX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreImm returns *(size *)(dst + off) = imm.
+func StoreImm(size uint8, dst uint8, off int16, imm int32) Instruction {
+	return Instruction{Opcode: ClassST | ModeMEM | size, Dst: dst, Off: off, Imm: imm}
+}
+
+// Atomic returns an atomic read-modify-write: lock *(size *)(dst + off)
+// <op>= src, where op is one of the Atomic* constants (optionally OR-ed
+// with AtomicFetch).
+func Atomic(size uint8, dst, src uint8, off int16, op int32) Instruction {
+	return Instruction{Opcode: ClassSTX | ModeATOMIC | size, Dst: dst, Src: src, Off: off, Imm: op}
+}
+
+// JumpA returns an unconditional goto +off.
+func JumpA(off int16) Instruction {
+	return Instruction{Opcode: ClassJMP | JA, Off: off}
+}
+
+// JumpImm returns if dst <op> imm goto +off (64-bit compare).
+func JumpImm(op uint8, dst uint8, imm int32, off int16) Instruction {
+	return Instruction{Opcode: ClassJMP | SrcK | op, Dst: dst, Imm: imm, Off: off}
+}
+
+// JumpReg returns if dst <op> src goto +off (64-bit compare).
+func JumpReg(op uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Opcode: ClassJMP | SrcX | op, Dst: dst, Src: src, Off: off}
+}
+
+// Jump32Imm returns if w_dst <op> imm goto +off (32-bit compare).
+func Jump32Imm(op uint8, dst uint8, imm int32, off int16) Instruction {
+	return Instruction{Opcode: ClassJMP32 | SrcK | op, Dst: dst, Imm: imm, Off: off}
+}
+
+// Jump32Reg returns if w_dst <op> w_src goto +off (32-bit compare).
+func Jump32Reg(op uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Opcode: ClassJMP32 | SrcX | op, Dst: dst, Src: src, Off: off}
+}
+
+// Call returns a helper-function call by helper id.
+func Call(helperID int32) Instruction {
+	return Instruction{Opcode: ClassJMP | CALL, Imm: helperID}
+}
+
+// CallPseudo returns a bpf-to-bpf call with the given instruction delta.
+func CallPseudo(delta int32) Instruction {
+	return Instruction{Opcode: ClassJMP | CALL, Src: PseudoCall, Imm: delta}
+}
+
+// CallKfunc returns a kernel-function call by BTF id.
+func CallKfunc(btfID int32) Instruction {
+	return Instruction{Opcode: ClassJMP | CALL, Src: PseudoKfuncCall, Imm: btfID}
+}
+
+// Exit returns the BPF_EXIT instruction.
+func Exit() Instruction {
+	return Instruction{Opcode: ClassJMP | EXIT}
+}

@@ -1,0 +1,146 @@
+package isa
+
+import "fmt"
+
+// disasm renders a single instruction in a style close to the kernel
+// verifier log, so that dumps of generated programs read like the listings
+// in the paper.
+func disasm(ins Instruction) string {
+	switch ins.Class() {
+	case ClassALU, ClassALU64:
+		return disasmALU(ins)
+	case ClassJMP, ClassJMP32:
+		return disasmJmp(ins)
+	case ClassLD:
+		return disasmLD(ins)
+	case ClassLDX:
+		return fmt.Sprintf("r%d = *(%s *)(r%d %+d)", ins.Dst, sizeName(ins), ins.Src, ins.Off)
+	case ClassST:
+		return fmt.Sprintf("*(%s *)(r%d %+d) = %d", sizeName(ins), ins.Dst, ins.Off, ins.Imm)
+	case ClassSTX:
+		if ins.IsAtomic() {
+			return disasmAtomic(ins)
+		}
+		return fmt.Sprintf("*(%s *)(r%d %+d) = r%d", sizeName(ins), ins.Dst, ins.Off, ins.Src)
+	}
+	return fmt.Sprintf("insn{op=%#02x dst=%d src=%d off=%d imm=%d}", ins.Opcode, ins.Dst, ins.Src, ins.Off, ins.Imm)
+}
+
+func sizeName(ins Instruction) string {
+	base := "u"
+	if Mode(ins.Opcode) == ModeMEMSX {
+		base = "s"
+	}
+	switch Size(ins.Opcode) {
+	case SizeB:
+		return base + "8"
+	case SizeH:
+		return base + "16"
+	case SizeW:
+		return base + "32"
+	case SizeDW:
+		return base + "64"
+	}
+	return "u?"
+}
+
+func regName(ins Instruction, r uint8) string {
+	if ins.Class() == ClassALU || ins.Class() == ClassJMP32 {
+		return fmt.Sprintf("w%d", r)
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func disasmALU(ins Instruction) string {
+	op := Op(ins.Opcode)
+	switch op {
+	case ALUNeg:
+		return fmt.Sprintf("%s = -%s", regName(ins, ins.Dst), regName(ins, ins.Dst))
+	case ALUEnd:
+		dir := "le"
+		if Src(ins.Opcode) == SrcX {
+			dir = "be"
+		}
+		return fmt.Sprintf("r%d = %s%d r%d", ins.Dst, dir, ins.Imm, ins.Dst)
+	}
+	name := aluNames[op]
+	if Src(ins.Opcode) == SrcX {
+		return fmt.Sprintf("%s %s %s", regName(ins, ins.Dst), name, regName(ins, ins.Src))
+	}
+	return fmt.Sprintf("%s %s %d", regName(ins, ins.Dst), name, ins.Imm)
+}
+
+func disasmJmp(ins Instruction) string {
+	switch Op(ins.Opcode) {
+	case JA:
+		return fmt.Sprintf("goto %+d", ins.Off)
+	case EXIT:
+		return "exit"
+	case CALL:
+		switch ins.Src {
+		case PseudoCall:
+			return fmt.Sprintf("call pc%+d", ins.Imm)
+		case PseudoKfuncCall:
+			return fmt.Sprintf("call kfunc#%d", ins.Imm)
+		default:
+			return fmt.Sprintf("call #%d", ins.Imm)
+		}
+	}
+	name := jmpNames[Op(ins.Opcode)]
+	if Src(ins.Opcode) == SrcX {
+		return fmt.Sprintf("if %s %s %s goto %+d", regName(ins, ins.Dst), name, regName(ins, ins.Src), ins.Off)
+	}
+	return fmt.Sprintf("if %s %s %d goto %+d", regName(ins, ins.Dst), name, ins.Imm, ins.Off)
+}
+
+func disasmLD(ins Instruction) string {
+	switch Mode(ins.Opcode) {
+	case ModeIMM:
+		switch ins.Src {
+		case PseudoMapFD:
+			return fmt.Sprintf("r%d = map_fd(%d)", ins.Dst, int32(ins.Imm64))
+		case PseudoMapValue:
+			return fmt.Sprintf("r%d = map_value(fd=%d off=%d)", ins.Dst, int32(uint32(ins.Imm64)), uint32(ins.Imm64>>32))
+		case PseudoBTFID:
+			return fmt.Sprintf("r%d = btf_id(%d)", ins.Dst, int32(ins.Imm64))
+		case PseudoFunc:
+			return fmt.Sprintf("r%d = func(pc%+d)", ins.Dst, int32(ins.Imm64))
+		default:
+			return fmt.Sprintf("r%d = %#x ll", ins.Dst, ins.Imm64)
+		}
+	case ModeABS:
+		return fmt.Sprintf("r0 = *(%s *)skb[%d]", sizeName(ins), ins.Imm)
+	case ModeIND:
+		return fmt.Sprintf("r0 = *(%s *)skb[r%d + %d]", sizeName(ins), ins.Src, ins.Imm)
+	}
+	return fmt.Sprintf("ld?{op=%#02x}", ins.Opcode)
+}
+
+func disasmAtomic(ins Instruction) string {
+	var op string
+	switch ins.Imm {
+	case AtomicAdd:
+		op = "+="
+	case AtomicOr:
+		op = "|="
+	case AtomicAnd:
+		op = "&="
+	case AtomicXor:
+		op = "^="
+	case AtomicAdd | AtomicFetch:
+		op = "+=fetch"
+	case AtomicOr | AtomicFetch:
+		op = "|=fetch"
+	case AtomicAnd | AtomicFetch:
+		op = "&=fetch"
+	case AtomicXor | AtomicFetch:
+		op = "^=fetch"
+	case AtomicXchg:
+		op = "xchg"
+	case AtomicCmpXchg:
+		op = "cmpxchg"
+	default:
+		op = fmt.Sprintf("atomic(%#x)", ins.Imm)
+	}
+	return fmt.Sprintf("lock *(%s *)(r%d %+d) %s r%d", sizeName(ins), ins.Dst, ins.Off, op, ins.Src)
+}

@@ -1,0 +1,164 @@
+package isa
+
+import "fmt"
+
+// InsertAt returns a copy of p with insns inserted before decoded index
+// idx, with every jump offset and pseudo-call delta recomputed (the
+// kernel's bpf_patch_insn_data). Jumps that previously targeted the
+// instruction at idx now target the start of the inserted block, so the
+// new code executes on every path that reached the old instruction.
+//
+// Mutation operators and rewrite passes share this utility; it keeps
+// arbitrary insertions validity-preserving.
+func InsertAt(p *Program, idx int, insns ...Instruction) (*Program, error) {
+	if idx < 0 || idx > len(p.Insns) {
+		return nil, fmt.Errorf("isa: insert index %d out of range", idx)
+	}
+	out := &Program{
+		Type: p.Type, Name: p.Name,
+		AttachTo: p.AttachTo, GPLCompatible: p.GPLCompatible,
+	}
+	newIdx := make([]int, len(p.Insns)) // orig -> new decoded index
+	for i, ins := range p.Insns {
+		if i == idx {
+			out.Insns = append(out.Insns, insns...)
+		}
+		newIdx[i] = len(out.Insns)
+		out.Insns = append(out.Insns, ins)
+	}
+	if idx == len(p.Insns) {
+		out.Insns = append(out.Insns, insns...)
+	}
+
+	// Slot tables before and after.
+	oldSlot := make([]int, len(p.Insns)+1)
+	for i, ins := range p.Insns {
+		oldSlot[i+1] = oldSlot[i] + slotWidth(ins)
+	}
+	oldIdxOfSlot := make(map[int]int, len(p.Insns))
+	for i := range p.Insns {
+		oldIdxOfSlot[oldSlot[i]] = i
+	}
+	newSlot := make([]int, len(out.Insns)+1)
+	for i, ins := range out.Insns {
+		newSlot[i+1] = newSlot[i] + slotWidth(ins)
+	}
+	// blockStart: where jumps to orig insn j should now land. For j ==
+	// idx that is the first inserted instruction.
+	blockStart := func(j int) int {
+		n := newIdx[j]
+		if j == idx {
+			n -= len(insns)
+		}
+		return n
+	}
+
+	for i, ins := range p.Insns {
+		isJump := ins.IsCondJump() || ins.IsUncondJump()
+		if !isJump && !ins.IsPseudoCall() {
+			continue
+		}
+		var delta int32
+		if ins.IsPseudoCall() {
+			delta = ins.Imm
+		} else {
+			delta = int32(ins.Off)
+		}
+		tgt, ok := oldIdxOfSlot[oldSlot[i]+slotWidth(ins)+int(delta)]
+		if !ok {
+			return nil, fmt.Errorf("isa: insn %d has unmappable jump target", i)
+		}
+		ni := newIdx[i]
+		newOff := newSlot[blockStart(tgt)] - (newSlot[ni] + slotWidth(out.Insns[ni]))
+		if ins.IsPseudoCall() {
+			out.Insns[ni].Imm = int32(newOff)
+		} else {
+			if newOff > 32767 || newOff < -32768 {
+				return nil, fmt.Errorf("isa: patched jump offset %d overflows", newOff)
+			}
+			out.Insns[ni].Off = int16(newOff)
+		}
+	}
+	return out, nil
+}
+
+func slotWidth(ins Instruction) int {
+	if ins.IsWide() {
+		return 2
+	}
+	return 1
+}
+
+// RemoveAt returns a copy of p without the instruction at decoded index
+// idx, with every jump offset and pseudo-call delta recomputed. Jumps that
+// targeted the removed instruction now land on its successor. Removing an
+// instruction can make the program invalid (e.g. dropping the final exit);
+// callers should Validate the result.
+func RemoveAt(p *Program, idx int) (*Program, error) {
+	if idx < 0 || idx >= len(p.Insns) {
+		return nil, fmt.Errorf("isa: remove index %d out of range", idx)
+	}
+	out := &Program{
+		Type: p.Type, Name: p.Name,
+		AttachTo: p.AttachTo, GPLCompatible: p.GPLCompatible,
+	}
+	newIdx := make([]int, len(p.Insns))
+	for i, ins := range p.Insns {
+		if i == idx {
+			newIdx[i] = len(out.Insns) // successor position
+			continue
+		}
+		newIdx[i] = len(out.Insns)
+		out.Insns = append(out.Insns, ins)
+	}
+
+	oldSlot := make([]int, len(p.Insns)+1)
+	for i, ins := range p.Insns {
+		oldSlot[i+1] = oldSlot[i] + slotWidth(ins)
+	}
+	oldIdxOfSlot := make(map[int]int, len(p.Insns))
+	for i := range p.Insns {
+		oldIdxOfSlot[oldSlot[i]] = i
+	}
+	newSlot := make([]int, len(out.Insns)+1)
+	for i, ins := range out.Insns {
+		newSlot[i+1] = newSlot[i] + slotWidth(ins)
+	}
+	slotOfNew := func(j int) int {
+		if j >= len(out.Insns) {
+			return newSlot[len(out.Insns)]
+		}
+		return newSlot[j]
+	}
+
+	for i, ins := range p.Insns {
+		if i == idx {
+			continue
+		}
+		isJump := ins.IsCondJump() || ins.IsUncondJump()
+		if !isJump && !ins.IsPseudoCall() {
+			continue
+		}
+		var delta int32
+		if ins.IsPseudoCall() {
+			delta = ins.Imm
+		} else {
+			delta = int32(ins.Off)
+		}
+		tgt, ok := oldIdxOfSlot[oldSlot[i]+slotWidth(ins)+int(delta)]
+		if !ok {
+			return nil, fmt.Errorf("isa: insn %d has unmappable jump target", i)
+		}
+		ni := newIdx[i]
+		newOff := slotOfNew(newIdx[tgt]) - (newSlot[ni] + slotWidth(out.Insns[ni]))
+		if ins.IsPseudoCall() {
+			out.Insns[ni].Imm = int32(newOff)
+		} else {
+			if newOff > 32767 || newOff < -32768 {
+				return nil, fmt.Errorf("isa: patched jump offset %d overflows", newOff)
+			}
+			out.Insns[ni].Off = int16(newOff)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,452 @@
+// Package kernel is the facade over the simulated Linux eBPF subsystem:
+// a bpf(2)-style interface (map creation, program load, attach, run, map
+// dumping), kernel "version" configurations that arm historically
+// appropriate bug knobs, the optional BVF sanitation patches, and the
+// anomaly oracle that classifies runtime faults into the paper's two
+// correctness-bug indicators.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kmem"
+	"repro/internal/lockdep"
+	"repro/internal/maps"
+	"repro/internal/runtime"
+	"repro/internal/sanitizer"
+	"repro/internal/trace"
+	"repro/internal/verifier"
+)
+
+// Version selects a simulated kernel release, which controls both the
+// available features and the armed bug knobs (the three targets of the
+// paper's §6.3 evaluation).
+type Version int
+
+// Kernel versions from the evaluation.
+const (
+	V515    Version = iota // Linux v5.15
+	V61                    // Linux v6.1
+	BPFNext                // the bpf-next development branch
+)
+
+func (v Version) String() string {
+	switch v {
+	case V515:
+		return "v5.15"
+	case V61:
+		return "v6.1"
+	case BPFNext:
+		return "bpf-next"
+	}
+	return "unknown"
+}
+
+// AllVersions lists the evaluated kernels in paper order.
+var AllVersions = []Version{V515, V61, BPFNext}
+
+// DefaultBugs returns the bug knobs armed on each version: old bugs exist
+// on old kernels, the six new verifier correctness bugs live in bpf-next.
+func (v Version) DefaultBugs() bugs.Set {
+	switch v {
+	case V515:
+		return bugs.Of(bugs.CVE2022_23222, bugs.Bug4TracePrintk, bugs.Bug6SendSignal,
+			bugs.Bug8Kmemdup, bugs.Bug9BucketIter)
+	case V61:
+		return bugs.Of(bugs.Bug4TracePrintk, bugs.Bug5Contention, bugs.Bug6SendSignal,
+			bugs.Bug8Kmemdup, bugs.Bug9BucketIter, bugs.Bug10IrqWork)
+	case BPFNext:
+		return bugs.Of(bugs.Bug1NullnessProp, bugs.Bug2TaskAccess, bugs.Bug3KfuncBacktrack,
+			bugs.Bug4TracePrintk, bugs.Bug5Contention, bugs.Bug6SendSignal,
+			bugs.Bug7Dispatcher, bugs.Bug8Kmemdup, bugs.Bug9BucketIter,
+			bugs.Bug10IrqWork, bugs.Bug11XDPDevProg)
+	}
+	return bugs.None()
+}
+
+// HasKfuncs reports whether the version supports kernel-function calls.
+func (v Version) HasKfuncs() bool { return v != V515 }
+
+// kmallocMax is the scaled-down kmalloc allocation limit the Bug #8 knob
+// trips over when the rewritten program is duplicated to user space.
+const kmallocMax = 512 * isa.InsnSize
+
+// Config parameterizes a simulated kernel.
+type Config struct {
+	Version Version
+	// Bugs overrides the version's default knob set when non-nil.
+	Bugs bugs.Set
+	// Sanitize enables the BVF kernel patches (memory sanitation and
+	// alu_limit assertions on loaded programs).
+	Sanitize bool
+	// Cov collects verifier branch coverage (kcov) when non-nil.
+	Cov *coverage.Map
+	// VerifierBudget caps verification work per program.
+	VerifierBudget int
+}
+
+// Kernel is one simulated kernel instance.
+type Kernel struct {
+	Cfg Config
+	M   *runtime.Machine
+
+	progs  map[int32]*LoadedProg
+	nextFD int32
+
+	dispatcherProg    *LoadedProg
+	dispatcherUpdates int
+}
+
+// LoadedProg is a successfully verified (and possibly sanitized) program.
+type LoadedProg struct {
+	FD int32
+	// Orig is the program as submitted.
+	Orig *isa.Program
+	// Verified is the fixed-up program the verifier produced.
+	Verified *isa.Program
+	// Exec is the program actually executed: the sanitized rewrite when
+	// sanitation is enabled, otherwise Verified.
+	Exec *isa.Program
+	// Res is the verification result.
+	Res *verifier.Result
+	// SanStats describes the instrumentation, when sanitation ran.
+	SanStats *sanitizer.Stats
+	// Offloaded marks XDP programs loaded for device offload.
+	Offloaded bool
+}
+
+// New builds a kernel of the given version.
+func New(cfg Config) *Kernel {
+	if cfg.Bugs == nil {
+		cfg.Bugs = cfg.Version.DefaultBugs()
+	}
+	if cfg.VerifierBudget == 0 {
+		cfg.VerifierBudget = 50000
+	}
+	k := &Kernel{
+		Cfg:    cfg,
+		M:      runtime.NewMachine(cfg.Bugs),
+		progs:  make(map[int32]*LoadedProg),
+		nextFD: 100,
+	}
+	k.M.ResolveProg = func(fd int32) *isa.Program {
+		if lp := k.progs[fd]; lp != nil {
+			return lp.Exec
+		}
+		return nil
+	}
+	return k
+}
+
+// SetProgArraySlot installs a loaded program into a prog-array map slot,
+// the bpf(2) map-update path user space uses to set up tail calls.
+func (k *Kernel) SetProgArraySlot(mapFD int32, idx uint32, progFD int32) error {
+	m := k.M.MapByFD(mapFD)
+	if m == nil || m.Type != maps.ProgArray {
+		return errors.New("kernel: not a prog_array map")
+	}
+	if _, ok := k.progs[progFD]; !ok {
+		return errors.New("kernel: bad prog fd")
+	}
+	return m.SetProg(idx, progFD)
+}
+
+// CreateMap creates a map and returns its fd.
+func (k *Kernel) CreateMap(spec maps.Spec) (int32, error) {
+	return k.M.CreateMap(spec)
+}
+
+// MapByFD resolves a map fd.
+func (k *Kernel) MapByFD(fd int32) *maps.Map { return k.M.MapByFD(fd) }
+
+// VerifierConfig assembles the verifier configuration for this kernel.
+func (k *Kernel) VerifierConfig() *verifier.Config {
+	return &verifier.Config{
+		Bugs:             k.Cfg.Bugs,
+		Helpers:          k.M.Helpers,
+		BTF:              k.M.BTF,
+		MapByFD:          k.M.MapByFD,
+		BTFVarAddr:       k.M.BTFVarAddr,
+		Cov:              k.Cfg.Cov,
+		MaxInsnProcessed: k.Cfg.VerifierBudget,
+		DisableKfuncs:    !k.Cfg.Version.HasKfuncs(),
+	}
+}
+
+// SyscallBugError models Bug #8: the bpf(2) syscall fails with a kernel
+// warning when duplicating an over-large rewritten program with kmemdup.
+type SyscallBugError struct {
+	Size int
+}
+
+func (e *SyscallBugError) Error() string {
+	return fmt.Sprintf("WARNING: kmemdup of %d bytes exceeds kmalloc limit (bpf_prog_get_info_by_fd)", e.Size)
+}
+
+// LoadProgram verifies p and, when sanitation is enabled, instruments the
+// result. On success the program is registered and ready to run.
+func (k *Kernel) LoadProgram(p *isa.Program) (*LoadedProg, error) {
+	res, err := verifier.Verify(p, k.VerifierConfig())
+	if err != nil {
+		return nil, err
+	}
+	lp := &LoadedProg{Orig: p, Verified: res.Prog, Exec: res.Prog, Res: res}
+	if k.Cfg.Sanitize {
+		san, stats, serr := sanitizer.Instrument(res.Prog, res.RangeChecks)
+		if serr != nil {
+			return nil, serr
+		}
+		lp.Exec = san
+		lp.SanStats = stats
+	}
+	// Bug #8: the syscall duplicates the rewritten instructions back to
+	// user space with kmemdup, which fails for large programs.
+	if k.Cfg.Bugs.Has(bugs.Bug8Kmemdup) && lp.Exec.Slots()*isa.InsnSize > kmallocMax {
+		return nil, &SyscallBugError{Size: lp.Exec.Slots() * isa.InsnSize}
+	}
+	lp.FD = k.nextFD
+	k.nextFD++
+	k.progs[lp.FD] = lp
+	return lp, nil
+}
+
+// Run executes a loaded program once. Programs with an AttachTo hook are
+// attached to the tracepoint, fired, and detached; others run directly.
+// The returned outcome's Err carries any fault.
+func (k *Kernel) Run(lp *LoadedProg) *runtime.ExecOutcome {
+	k.M.Lockdep.Reset()
+	if tp := lp.Exec.AttachTo; tp != "" && k.M.Trace.Exists(tp) {
+		var last *runtime.ExecOutcome
+		handler := func(depth int) error {
+			x := runtime.NewExec(k.M, lp.Exec)
+			out := x.Run()
+			last = out
+			return out.Err
+		}
+		if err := k.M.Trace.Attach(tp, handler); err != nil {
+			return &runtime.ExecOutcome{Err: err}
+		}
+		defer k.M.Trace.Detach(tp)
+		if err := k.M.Trace.Fire(tp); err != nil {
+			return &runtime.ExecOutcome{Err: err}
+		}
+		if last == nil {
+			last = &runtime.ExecOutcome{}
+		}
+		return last
+	}
+	x := runtime.NewExec(k.M, lp.Exec)
+	out := x.Run()
+	if out.Err == nil {
+		if viol := k.M.Lockdep.ExitContext("cpu0"); viol != nil {
+			out.Err = viol
+		}
+	}
+	// Bug #11: device-offloaded XDP programs must never execute on the
+	// host; the missing environment check lets them.
+	if out.Err == nil && lp.Offloaded && lp.Exec.Type == isa.ProgTypeXDP &&
+		k.Cfg.Bugs.Has(bugs.Bug11XDPDevProg) {
+		out.Err = &XDPEnvError{}
+	}
+	return out
+}
+
+// XDPEnvError models Bug #11: a device program executed in the host
+// environment dereferences device-only state.
+type XDPEnvError struct{}
+
+func (e *XDPEnvError) Error() string {
+	return "BUG: device-offloaded XDP program executed on host (missing execution environment check)"
+}
+
+// DumpMap walks a map as the map-dump syscalls do (map_get_next_key +
+// lookup). With Bug #9 armed the hash walk reads past the bucket on the
+// lock-failure path, which KASAN reports.
+func (k *Kernel) DumpMap(fd int32) (int, error) {
+	m := k.M.MapByFD(fd)
+	if m == nil {
+		return 0, errors.New("kernel: bad map fd")
+	}
+	n := 0
+	err := m.Iterate(func(key []byte, valueAddr uint64) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// UpdateDispatcher installs a program into the XDP dispatcher slot.
+// With Bug #7 armed, the update lacks synchronization with execution.
+func (k *Kernel) UpdateDispatcher(lp *LoadedProg) {
+	k.dispatcherProg = lp
+	k.dispatcherUpdates++
+}
+
+// RunDispatcher executes the dispatcher. With Bug #7 armed, an execution
+// racing a recent update dereferences the torn slot.
+func (k *Kernel) RunDispatcher() *runtime.ExecOutcome {
+	if k.Cfg.Bugs.Has(bugs.Bug7Dispatcher) && k.dispatcherUpdates > 0 && k.dispatcherUpdates%3 == 0 {
+		// The torn window: the old program pointer was freed but the
+		// slot not yet republished.
+		k.dispatcherUpdates++
+		return &runtime.ExecOutcome{Err: &kmem.Report{
+			Kind: kmem.ReportNull, Addr: 16, Size: 8, Tag: "bpf_dispatcher",
+		}}
+	}
+	if k.dispatcherProg == nil {
+		return &runtime.ExecOutcome{}
+	}
+	return k.Run(k.dispatcherProg)
+}
+
+// Indicator identifies which of the paper's two oracle indicators an
+// anomaly corresponds to.
+type Indicator int
+
+// Indicators.
+const (
+	IndicatorNone Indicator = 0
+	// Indicator1 is an invalid load/store performed by the program
+	// itself (§3.1).
+	Indicator1 Indicator = 1
+	// Indicator2 is a fault inside a kernel routine the program invoked
+	// (§3.2).
+	Indicator2 Indicator = 2
+)
+
+// Anomaly is one oracle hit: a runtime fault of a verified program.
+type Anomaly struct {
+	Kind      string
+	Indicator Indicator
+	Err       error
+	// Attributed is the seeded bug this anomaly maps back to (0 when
+	// unattributed).
+	Attributed bugs.ID
+}
+
+func (a *Anomaly) String() string {
+	return fmt.Sprintf("[indicator%d %s] %v (bug: %v)", a.Indicator, a.Kind, a.Err, a.Attributed)
+}
+
+// Classify maps a runtime fault to an anomaly. Faults that are resource
+// limits rather than bugs return nil.
+func Classify(err error) *Anomaly {
+	if err == nil {
+		return nil
+	}
+	var step *runtime.StepLimitError
+	if errors.As(err, &step) {
+		return nil
+	}
+	var rep *kmem.Report
+	if errors.As(err, &rep) {
+		return &Anomaly{Kind: "kasan:" + rep.Kind.String(), Indicator: Indicator1, Err: err}
+	}
+	var oops *kmem.FaultError
+	if errors.As(err, &oops) {
+		return &Anomaly{Kind: "kernel-oops", Indicator: Indicator1, Err: err}
+	}
+	var rv *runtime.RangeViolationError
+	if errors.As(err, &rv) {
+		return &Anomaly{Kind: "alu-limit-violation", Indicator: Indicator1, Err: err}
+	}
+	var lv *lockdep.Violation
+	if errors.As(err, &lv) {
+		return &Anomaly{Kind: "lockdep:" + lv.Kind.String(), Indicator: Indicator2, Err: err}
+	}
+	var rec *trace.RecursionError
+	if errors.As(err, &rec) {
+		return &Anomaly{Kind: "trace-recursion", Indicator: Indicator2, Err: err}
+	}
+	var pan *helpers.PanicError
+	if errors.As(err, &pan) {
+		return &Anomaly{Kind: "kernel-panic", Indicator: Indicator2, Err: err}
+	}
+	var sb *SyscallBugError
+	if errors.As(err, &sb) {
+		return &Anomaly{Kind: "syscall-warning", Indicator: IndicatorNone, Err: err}
+	}
+	var xe *XDPEnvError
+	if errors.As(err, &xe) {
+		return &Anomaly{Kind: "xdp-env", Indicator: IndicatorNone, Err: err}
+	}
+	return nil
+}
+
+// Triage attributes an anomaly on an accepted program to a seeded bug:
+// for verifier bugs it re-verifies the program with each armed knob
+// individually disabled — if disabling knob X makes the verifier reject
+// the program, X admitted it. Runtime-side bugs are attributed by their
+// anomaly signature. This automates the paper's manual triage step.
+func (k *Kernel) Triage(a *Anomaly, prog *isa.Program) bugs.ID {
+	if a == nil {
+		return 0
+	}
+	// Signature-attributed runtime bugs.
+	switch {
+	case a.Kind == "syscall-warning":
+		return bugs.Bug8Kmemdup
+	case a.Kind == "xdp-env":
+		return bugs.Bug11XDPDevProg
+	}
+	// A send-signal panic identifies Bug #6 directly. Signature-based
+	// attribution matters here because knob-removal re-verification can
+	// be defeated by knob interactions: with Bug #3 also armed, the
+	// collapsed range analysis may make the signal call site dead code
+	// under every single-knob-weakened verifier.
+	var pan *helpers.PanicError
+	if errors.As(a.Err, &pan) && k.Cfg.Bugs.Has(bugs.Bug6SendSignal) {
+		return bugs.Bug6SendSignal
+	}
+	var lv *lockdep.Violation
+	if errors.As(a.Err, &lv) && lv.Kind == lockdep.Inversion &&
+		(lv.Lock.Name == "irq_work_lock" || lv.Against.Name == "irq_work_lock") {
+		return bugs.Bug10IrqWork
+	}
+	// An alu_limit violation means the verifier's range belief diverged
+	// from the runtime value. With Bug #3 armed and a kfunc call in the
+	// program, the broken backtracking is the only seeded source of such
+	// divergence — re-verification cannot attribute it because both the
+	// buggy and fixed verifiers accept the program, they merely record
+	// different beliefs.
+	var rv *runtime.RangeViolationError
+	if errors.As(a.Err, &rv) && prog != nil && k.Cfg.Bugs.Has(bugs.Bug3KfuncBacktrack) {
+		for _, ins := range prog.Insns {
+			if ins.IsKfuncCall() {
+				return bugs.Bug3KfuncBacktrack
+			}
+		}
+	}
+
+	if prog != nil {
+		base := k.Cfg.Bugs
+		for _, id := range bugs.AllIDs() {
+			if !base.Has(id) {
+				continue
+			}
+			weakened := base.Clone()
+			delete(weakened, id)
+			cfg := k.VerifierConfig()
+			cfg.Bugs = weakened
+			cfg.Cov = nil
+			if _, err := verifier.Verify(prog, cfg); err != nil {
+				return id
+			}
+		}
+	}
+
+	// Remaining signatures.
+	var rep *kmem.Report
+	if errors.As(a.Err, &rep) && rep.Kind == kmem.ReportNull && rep.Tag == "bpf_dispatcher" {
+		return bugs.Bug7Dispatcher
+	}
+	if errors.As(a.Err, &rep) && k.Cfg.Bugs.Has(bugs.Bug9BucketIter) {
+		return bugs.Bug9BucketIter
+	}
+	return 0
+}

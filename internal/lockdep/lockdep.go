@@ -1,0 +1,172 @@
+// Package lockdep models the Linux runtime locking correctness validator.
+// It tracks the stack of locks held by each execution context, detecting
+// the two error classes BVF's indicator #2 relies on:
+//
+//   - self-recursion: acquiring a lock class already held in the same
+//     context ("possible recursive locking detected"), which is how the
+//     paper's contention_begin / trace_printk deadlocks manifest;
+//   - ordering inversion: observing lock class A taken while B is held
+//     after previously observing B while A is held ("possible circular
+//     locking dependency").
+//
+// Like the real validator, detection is per lock *class*, and the
+// dependency graph is global and monotonic.
+package lockdep
+
+import "fmt"
+
+// Class identifies a lock class (all instances of a lock share a class).
+type Class struct {
+	Name string
+}
+
+// NewClass registers a lock class with the given name.
+func NewClass(name string) *Class { return &Class{Name: name} }
+
+// ViolationKind classifies a locking violation.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// Recursion means a context re-acquired a class it already holds.
+	Recursion ViolationKind = iota
+	// Inversion means an A->B dependency conflicts with a recorded B->A.
+	Inversion
+	// HeldAtExit means a context finished while still holding locks.
+	HeldAtExit
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case Recursion:
+		return "possible recursive locking detected"
+	case Inversion:
+		return "possible circular locking dependency detected"
+	case HeldAtExit:
+		return "lock held when returning to user space"
+	}
+	return "unknown locking violation"
+}
+
+// Violation describes one detected locking error.
+type Violation struct {
+	Kind ViolationKind
+	// Lock is the class whose acquisition triggered the report.
+	Lock *Class
+	// Against is the conflicting class (for inversions) or the already
+	// held instance's class (for recursion).
+	Against *Class
+	// Context describes the execution context for diagnostics.
+	Context string
+}
+
+func (v *Violation) Error() string {
+	if v.Against != nil && v.Against != v.Lock {
+		return fmt.Sprintf("lockdep: %s: %s vs %s in %s", v.Kind, v.Lock.Name, v.Against.Name, v.Context)
+	}
+	return fmt.Sprintf("lockdep: %s: %s in %s", v.Kind, v.Lock.Name, v.Context)
+}
+
+// Validator is the global dependency recorder plus per-context held
+// stacks. It is not safe for concurrent use; executions in this simulator
+// are single-threaded per kernel instance.
+type Validator struct {
+	// deps["A->B"] records that B was acquired while A was held.
+	deps map[depEdge]bool
+	// contexts maps context name to its held-lock stack.
+	contexts map[string][]*Class
+	// violations accumulates everything detected, in order.
+	violations []*Violation
+}
+
+type depEdge struct{ from, to *Class }
+
+// NewValidator returns an empty validator.
+func NewValidator() *Validator {
+	return &Validator{
+		deps:     make(map[depEdge]bool),
+		contexts: make(map[string][]*Class),
+	}
+}
+
+// Acquire records that ctx takes a lock of class c, reporting any
+// violation this acquisition creates. On a violation the acquisition is
+// still recorded, matching the real validator's behaviour of warning once
+// and continuing.
+func (v *Validator) Acquire(ctx string, c *Class) *Violation {
+	held := v.contexts[ctx]
+	var viol *Violation
+	for _, h := range held {
+		if h == c {
+			viol = &Violation{Kind: Recursion, Lock: c, Against: h, Context: ctx}
+			break
+		}
+	}
+	if viol == nil {
+		for _, h := range held {
+			// Taking c while h is held creates h->c; it conflicts
+			// with a previously recorded c->h.
+			if v.deps[depEdge{from: c, to: h}] {
+				viol = &Violation{Kind: Inversion, Lock: c, Against: h, Context: ctx}
+				break
+			}
+		}
+	}
+	for _, h := range held {
+		v.deps[depEdge{from: h, to: c}] = true
+	}
+	v.contexts[ctx] = append(held, c)
+	if viol != nil {
+		v.violations = append(v.violations, viol)
+	}
+	return viol
+}
+
+// Release records that ctx drops its most recent acquisition of class c.
+// Releasing a lock that is not held is ignored (the caller's bug is
+// reported elsewhere).
+func (v *Validator) Release(ctx string, c *Class) {
+	held := v.contexts[ctx]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == c {
+			v.contexts[ctx] = append(held[:i], held[i+1:]...)
+			return
+		}
+	}
+}
+
+// Held reports whether ctx currently holds a lock of class c.
+func (v *Validator) Held(ctx string, c *Class) bool {
+	for _, h := range v.contexts[ctx] {
+		if h == c {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldCount returns the number of locks ctx holds.
+func (v *Validator) HeldCount(ctx string) int { return len(v.contexts[ctx]) }
+
+// ExitContext checks that ctx holds nothing and clears its stack,
+// reporting a HeldAtExit violation if locks remain.
+func (v *Validator) ExitContext(ctx string) *Violation {
+	held := v.contexts[ctx]
+	delete(v.contexts, ctx)
+	if len(held) == 0 {
+		return nil
+	}
+	viol := &Violation{Kind: HeldAtExit, Lock: held[len(held)-1], Context: ctx}
+	v.violations = append(v.violations, viol)
+	return viol
+}
+
+// Violations returns everything detected so far, in detection order.
+func (v *Validator) Violations() []*Violation { return v.violations }
+
+// Reset clears per-context state and the violation list but keeps the
+// learned dependency graph, as the real validator does across tasks.
+func (v *Validator) Reset() {
+	v.contexts = make(map[string][]*Class)
+	v.violations = nil
+}

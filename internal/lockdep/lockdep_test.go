@@ -1,0 +1,136 @@
+package lockdep
+
+import "testing"
+
+func TestAcquireReleaseClean(t *testing.T) {
+	v := NewValidator()
+	a := NewClass("a")
+	b := NewClass("b")
+	if viol := v.Acquire("ctx", a); viol != nil {
+		t.Fatalf("first acquire: %v", viol)
+	}
+	if viol := v.Acquire("ctx", b); viol != nil {
+		t.Fatalf("nested acquire: %v", viol)
+	}
+	if !v.Held("ctx", a) || !v.Held("ctx", b) {
+		t.Error("Held lost track")
+	}
+	v.Release("ctx", b)
+	v.Release("ctx", a)
+	if got := v.HeldCount("ctx"); got != 0 {
+		t.Errorf("HeldCount = %d after releases", got)
+	}
+	if viol := v.ExitContext("ctx"); viol != nil {
+		t.Errorf("clean exit: %v", viol)
+	}
+	if len(v.Violations()) != 0 {
+		t.Errorf("violations recorded on clean run: %v", v.Violations())
+	}
+}
+
+func TestRecursionDetected(t *testing.T) {
+	v := NewValidator()
+	lock := NewClass("tracing_lock")
+	if viol := v.Acquire("irq", lock); viol != nil {
+		t.Fatalf("first: %v", viol)
+	}
+	viol := v.Acquire("irq", lock)
+	if viol == nil || viol.Kind != Recursion {
+		t.Fatalf("recursive acquire: got %v, want recursion", viol)
+	}
+	if len(v.Violations()) != 1 {
+		t.Errorf("violations = %d, want 1", len(v.Violations()))
+	}
+}
+
+func TestRecursionRequiresSameContext(t *testing.T) {
+	v := NewValidator()
+	lock := NewClass("l")
+	v.Acquire("ctx1", lock)
+	if viol := v.Acquire("ctx2", lock); viol != nil {
+		t.Errorf("cross-context acquire flagged: %v", viol)
+	}
+}
+
+func TestInversionDetected(t *testing.T) {
+	v := NewValidator()
+	a := NewClass("a")
+	b := NewClass("b")
+	// Context 1 establishes a -> b.
+	v.Acquire("c1", a)
+	v.Acquire("c1", b)
+	v.Release("c1", b)
+	v.Release("c1", a)
+	// Context 2 attempts b -> a.
+	v.Acquire("c2", b)
+	viol := v.Acquire("c2", a)
+	if viol == nil || viol.Kind != Inversion {
+		t.Fatalf("inversion: got %v", viol)
+	}
+	if viol.Lock != a || viol.Against != b {
+		t.Errorf("inversion participants: %v vs %v", viol.Lock, viol.Against)
+	}
+}
+
+func TestNoInversionSameOrder(t *testing.T) {
+	v := NewValidator()
+	a := NewClass("a")
+	b := NewClass("b")
+	for _, ctx := range []string{"c1", "c2", "c3"} {
+		v.Acquire(ctx, a)
+		if viol := v.Acquire(ctx, b); viol != nil {
+			t.Fatalf("consistent order flagged in %s: %v", ctx, viol)
+		}
+		v.Release(ctx, b)
+		v.Release(ctx, a)
+	}
+}
+
+func TestHeldAtExit(t *testing.T) {
+	v := NewValidator()
+	l := NewClass("leaked")
+	v.Acquire("ctx", l)
+	viol := v.ExitContext("ctx")
+	if viol == nil || viol.Kind != HeldAtExit {
+		t.Fatalf("exit with held lock: got %v", viol)
+	}
+}
+
+func TestReleaseUnheldIgnored(t *testing.T) {
+	v := NewValidator()
+	l := NewClass("l")
+	v.Release("ctx", l) // must not panic or record
+	if len(v.Violations()) != 0 {
+		t.Error("release of unheld lock recorded a violation")
+	}
+}
+
+func TestResetKeepsDependencyGraph(t *testing.T) {
+	v := NewValidator()
+	a := NewClass("a")
+	b := NewClass("b")
+	v.Acquire("c1", a)
+	v.Acquire("c1", b)
+	v.Reset()
+	if len(v.Violations()) != 0 {
+		t.Error("Reset did not clear violations")
+	}
+	// The a->b edge must survive, so b->a still trips.
+	v.Acquire("c2", b)
+	if viol := v.Acquire("c2", a); viol == nil || viol.Kind != Inversion {
+		t.Errorf("dependency graph lost across Reset: %v", viol)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	a := NewClass("a")
+	b := NewClass("b")
+	v1 := &Violation{Kind: Recursion, Lock: a, Against: a, Context: "ctx"}
+	v2 := &Violation{Kind: Inversion, Lock: a, Against: b, Context: "ctx"}
+	if v1.Error() == "" || v2.Error() == "" {
+		t.Error("empty violation messages")
+	}
+	if v1.Error() == v2.Error() {
+		t.Error("distinct violations render identically")
+	}
+}

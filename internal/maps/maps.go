@@ -1,0 +1,450 @@
+// Package maps implements the eBPF map types the generator and runtime
+// exercise: array, hash, per-CPU array, queue, stack and ring buffer.
+// Every value is stored in the simulated kernel heap (internal/kmem), so
+// value pointers handed to eBPF programs are real addresses with KASAN
+// shadow metadata — out-of-bounds map-value accesses are detectable by the
+// sanitizer exactly as in the paper.
+package maps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/kmem"
+)
+
+// Type enumerates the implemented map types.
+type Type int
+
+// Map types.
+const (
+	Array Type = iota + 1
+	Hash
+	PerCPUArray
+	Queue
+	Stack
+	RingBuf
+	// ProgArray holds program file descriptors for bpf_tail_call.
+	ProgArray
+	// LRUHash is a hash map that evicts its oldest entry when full.
+	LRUHash
+)
+
+var typeNames = map[Type]string{
+	Array: "array", Hash: "hash", PerCPUArray: "percpu_array",
+	Queue: "queue", Stack: "stack", RingBuf: "ringbuf",
+	ProgArray: "prog_array", LRUHash: "lru_hash",
+}
+
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("map_type(%d)", int(t))
+}
+
+// AllTypes lists every map type, for generators.
+var AllTypes = []Type{Array, Hash, PerCPUArray, Queue, Stack, RingBuf, ProgArray, LRUHash}
+
+// NumCPUs is the simulated CPU count for per-CPU maps.
+const NumCPUs = 4
+
+// Update flags, mirroring the kernel's BPF_ANY / BPF_NOEXIST / BPF_EXIST.
+const (
+	UpdateAny     uint64 = 0
+	UpdateNoExist uint64 = 1
+	UpdateExist   uint64 = 2
+)
+
+// Spec describes a map to create.
+type Spec struct {
+	Type       Type
+	KeySize    uint32
+	ValueSize  uint32
+	MaxEntries uint32
+	Name       string
+}
+
+// Bugs holds the map-subsystem bug knobs (paper Table 2, bug #9).
+type Bugs struct {
+	// BucketIterOOB reproduces bug #9: when iterating a hash map, a
+	// failed bucket-lock acquisition does not stop the walk, so the
+	// iteration reads one element past the bucket array.
+	BucketIterOOB bool
+}
+
+// Map is a live map instance.
+type Map struct {
+	Spec
+	FD int32
+	// KernAddr is the address of the simulated struct bpf_map object;
+	// registers holding CONST_PTR_TO_MAP contain this value at runtime.
+	KernAddr uint64
+
+	dom  *kmem.Domain
+	bugs Bugs
+
+	arr    *kmem.Allocation            // Array / RingBuf backing store
+	percpu [NumCPUs]*kmem.Allocation   // PerCPUArray backing stores
+	hash   map[string]*kmem.Allocation // Hash: one allocation per value
+	order  []string                    // Hash insertion order, for Iterate
+	fifo   [][]byte                    // Queue / Stack elements
+
+	rbHead uint64 // RingBuf producer position
+	// progs holds program fds for ProgArray maps (0 = empty slot).
+	progs []int32
+}
+
+// Validation errors.
+var (
+	ErrBadSpec     = errors.New("maps: invalid map spec")
+	ErrKeyNotFound = errors.New("maps: key not found")
+	ErrExists      = errors.New("maps: key already exists")
+	ErrFull        = errors.New("maps: map is full")
+	ErrEmpty       = errors.New("maps: map is empty")
+	ErrBadOp       = errors.New("maps: operation not supported for map type")
+)
+
+// New creates a map in the given kernel memory domain. The fd is assigned
+// by the caller (the kernel facade).
+func New(dom *kmem.Domain, fd int32, spec Spec) (*Map, error) {
+	if err := validate(spec); err != nil {
+		return nil, err
+	}
+	m := &Map{Spec: spec, FD: fd, dom: dom}
+	obj := dom.Alloc(64, "bpf_map:"+spec.Type.String())
+	m.KernAddr = obj.BaseAddr
+	switch spec.Type {
+	case Array:
+		m.arr = dom.Alloc(int(spec.ValueSize)*int(spec.MaxEntries), "map_value:"+spec.Name)
+	case PerCPUArray:
+		for c := 0; c < NumCPUs; c++ {
+			m.percpu[c] = dom.Alloc(int(spec.ValueSize)*int(spec.MaxEntries), fmt.Sprintf("percpu_value:%s:%d", spec.Name, c))
+		}
+	case Hash, LRUHash:
+		m.hash = make(map[string]*kmem.Allocation)
+	case RingBuf:
+		m.arr = dom.Alloc(int(spec.MaxEntries), "ringbuf:"+spec.Name)
+	case ProgArray:
+		m.progs = make([]int32, spec.MaxEntries)
+	}
+	return m, nil
+}
+
+// SetProg installs a program fd into a ProgArray slot.
+func (m *Map) SetProg(idx uint32, progFD int32) error {
+	if m.Type != ProgArray {
+		return ErrBadOp
+	}
+	if idx >= m.MaxEntries {
+		return ErrKeyNotFound
+	}
+	m.progs[idx] = progFD
+	return nil
+}
+
+// ProgAt returns the program fd at a ProgArray slot, or 0 when the slot
+// is empty or out of range.
+func (m *Map) ProgAt(idx uint32) int32 {
+	if m.Type != ProgArray || idx >= m.MaxEntries {
+		return 0
+	}
+	return m.progs[idx]
+}
+
+// SetBugs arms the map-subsystem bug knobs.
+func (m *Map) SetBugs(b Bugs) { m.bugs = b }
+
+func validate(spec Spec) error {
+	if spec.MaxEntries == 0 {
+		return fmt.Errorf("%w: zero max_entries", ErrBadSpec)
+	}
+	switch spec.Type {
+	case ProgArray:
+		if spec.KeySize != 4 || spec.ValueSize != 4 {
+			return fmt.Errorf("%w: prog_array key/value size must be 4", ErrBadSpec)
+		}
+	case Array, PerCPUArray:
+		if spec.KeySize != 4 {
+			return fmt.Errorf("%w: array key size must be 4", ErrBadSpec)
+		}
+		if spec.ValueSize == 0 {
+			return fmt.Errorf("%w: zero value size", ErrBadSpec)
+		}
+	case Hash, LRUHash:
+		if spec.KeySize == 0 || spec.ValueSize == 0 {
+			return fmt.Errorf("%w: zero key/value size", ErrBadSpec)
+		}
+	case Queue, Stack:
+		if spec.KeySize != 0 {
+			return fmt.Errorf("%w: queue/stack key size must be 0", ErrBadSpec)
+		}
+		if spec.ValueSize == 0 {
+			return fmt.Errorf("%w: zero value size", ErrBadSpec)
+		}
+	case RingBuf:
+		if spec.KeySize != 0 || spec.ValueSize != 0 {
+			return fmt.Errorf("%w: ringbuf key/value size must be 0", ErrBadSpec)
+		}
+		if spec.MaxEntries&(spec.MaxEntries-1) != 0 {
+			return fmt.Errorf("%w: ringbuf size must be a power of two", ErrBadSpec)
+		}
+	default:
+		return fmt.Errorf("%w: unknown type %d", ErrBadSpec, spec.Type)
+	}
+	return nil
+}
+
+// LookupAddr returns the kernel address of the value for key, or 0 if the
+// key is absent. This is the semantic of bpf_map_lookup_elem: the program
+// receives a pointer to the value (or NULL).
+func (m *Map) LookupAddr(key []byte) uint64 {
+	switch m.Type {
+	case Array:
+		idx, ok := m.arrayIndex(key)
+		if !ok {
+			return 0
+		}
+		return m.arr.BaseAddr + uint64(idx)*uint64(m.ValueSize)
+	case PerCPUArray:
+		idx, ok := m.arrayIndex(key)
+		if !ok {
+			return 0
+		}
+		// CPU 0's copy, as bpf_map_lookup_elem does on-CPU.
+		return m.percpu[0].BaseAddr + uint64(idx)*uint64(m.ValueSize)
+	case Hash, LRUHash:
+		a, ok := m.hash[string(key)]
+		if !ok {
+			return 0
+		}
+		return a.BaseAddr
+	}
+	return 0
+}
+
+func (m *Map) arrayIndex(key []byte) (uint32, bool) {
+	if len(key) < 4 {
+		return 0, false
+	}
+	idx := binary.LittleEndian.Uint32(key)
+	if idx >= m.MaxEntries {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Update inserts or replaces the value for key.
+func (m *Map) Update(key, value []byte, flags uint64) error {
+	if uint32(len(value)) != m.ValueSize && m.Type != Queue && m.Type != Stack {
+		return fmt.Errorf("maps: value size %d != %d", len(value), m.ValueSize)
+	}
+	switch m.Type {
+	case Array, PerCPUArray:
+		idx, ok := m.arrayIndex(key)
+		if !ok {
+			return ErrKeyNotFound
+		}
+		if flags == UpdateNoExist {
+			return ErrExists // array slots always exist
+		}
+		if m.Type == Array {
+			copy(m.arr.Data[int(idx)*int(m.ValueSize):], value)
+		} else {
+			for c := 0; c < NumCPUs; c++ {
+				copy(m.percpu[c].Data[int(idx)*int(m.ValueSize):], value)
+			}
+		}
+		return nil
+	case Hash, LRUHash:
+		_, exists := m.hash[string(key)]
+		if exists && flags == UpdateNoExist {
+			return ErrExists
+		}
+		if !exists && flags == UpdateExist {
+			return ErrKeyNotFound
+		}
+		if !exists {
+			if uint32(len(m.hash)) >= m.MaxEntries {
+				if m.Type != LRUHash || len(m.order) == 0 {
+					return ErrFull
+				}
+				// LRU eviction: drop the oldest entry.
+				oldest := m.order[0]
+				m.dom.Free(m.hash[oldest])
+				delete(m.hash, oldest)
+				m.order = m.order[1:]
+			}
+			a := m.dom.Alloc(int(m.ValueSize), "map_value:"+m.Name)
+			copy(a.Data, value)
+			m.hash[string(key)] = a
+			m.order = append(m.order, string(key))
+			return nil
+		}
+		copy(m.hash[string(key)].Data, value)
+		return nil
+	case Queue, Stack:
+		return m.Push(value)
+	}
+	return ErrBadOp
+}
+
+// Delete removes key. For hash maps the value allocation is freed, so a
+// program that cached a pointer to it now holds a dangling pointer —
+// checked accesses report use-after-free.
+func (m *Map) Delete(key []byte) error {
+	switch m.Type {
+	case Hash, LRUHash:
+		a, ok := m.hash[string(key)]
+		if !ok {
+			return ErrKeyNotFound
+		}
+		m.dom.Free(a)
+		delete(m.hash, string(key))
+		for i, k := range m.order {
+			if k == string(key) {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		return nil
+	case Array, PerCPUArray:
+		return ErrBadOp // array elements cannot be deleted
+	}
+	return ErrBadOp
+}
+
+// Push appends a value to a queue/stack map.
+func (m *Map) Push(value []byte) error {
+	if m.Type != Queue && m.Type != Stack {
+		return ErrBadOp
+	}
+	if uint32(len(m.fifo)) >= m.MaxEntries {
+		return ErrFull
+	}
+	v := make([]byte, m.ValueSize)
+	copy(v, value)
+	m.fifo = append(m.fifo, v)
+	return nil
+}
+
+// Pop removes and returns the next value of a queue (FIFO) or stack
+// (LIFO) map.
+func (m *Map) Pop() ([]byte, error) {
+	if m.Type != Queue && m.Type != Stack {
+		return nil, ErrBadOp
+	}
+	if len(m.fifo) == 0 {
+		return nil, ErrEmpty
+	}
+	var v []byte
+	if m.Type == Queue {
+		v = m.fifo[0]
+		m.fifo = m.fifo[1:]
+	} else {
+		v = m.fifo[len(m.fifo)-1]
+		m.fifo = m.fifo[:len(m.fifo)-1]
+	}
+	return v, nil
+}
+
+// RingbufReserve allocates a record in the ring buffer's domain and
+// returns its allocation; the caller commits it with RingbufSubmit or
+// abandons it with RingbufDiscard. Reservations are real kmem allocations
+// so stale pointers are UAF-detectable after submit/discard.
+func (m *Map) RingbufReserve(size int) *kmem.Allocation {
+	if m.Type != RingBuf || size <= 0 || size > int(m.MaxEntries) {
+		return nil
+	}
+	return m.dom.Alloc(size, "ringbuf_rec:"+m.Name)
+}
+
+// RingbufSubmit commits a reservation: its bytes are copied into the ring
+// storage and the record is freed.
+func (m *Map) RingbufSubmit(rec *kmem.Allocation) error {
+	if m.Type != RingBuf {
+		return ErrBadOp
+	}
+	if err := m.RingbufOutput(rec.Data); err != nil {
+		return err
+	}
+	m.dom.Free(rec)
+	return nil
+}
+
+// RingbufDiscard abandons a reservation.
+func (m *Map) RingbufDiscard(rec *kmem.Allocation) {
+	if m.Type == RingBuf {
+		m.dom.Free(rec)
+	}
+}
+
+// RingbufOutput appends data to the ring buffer, wrapping at the end.
+func (m *Map) RingbufOutput(data []byte) error {
+	if m.Type != RingBuf {
+		return ErrBadOp
+	}
+	if len(data) > len(m.arr.Data) {
+		return ErrFull
+	}
+	for _, b := range data {
+		m.arr.Data[m.rbHead&uint64(m.MaxEntries-1)] = b
+		m.rbHead++
+	}
+	return nil
+}
+
+// Entries returns the number of stored entries (hash/queue/stack) or
+// MaxEntries for array types.
+func (m *Map) Entries() int {
+	switch m.Type {
+	case Hash, LRUHash:
+		return len(m.hash)
+	case Queue, Stack:
+		return len(m.fifo)
+	default:
+		return int(m.MaxEntries)
+	}
+}
+
+// Iterate walks the map's entries in deterministic order, invoking f with
+// each key and the kernel address of its value. With the BucketIterOOB bug
+// armed (paper bug #9), iterating a hash map performs one extra read past
+// the final value allocation and returns the resulting KASAN report as an
+// error.
+func (m *Map) Iterate(f func(key []byte, valueAddr uint64) bool) error {
+	switch m.Type {
+	case Array:
+		var key [4]byte
+		for i := uint32(0); i < m.MaxEntries; i++ {
+			binary.LittleEndian.PutUint32(key[:], i)
+			if !f(key[:], m.arr.BaseAddr+uint64(i)*uint64(m.ValueSize)) {
+				return nil
+			}
+		}
+		return nil
+	case Hash, LRUHash:
+		for _, k := range m.order {
+			a := m.hash[k]
+			if !f([]byte(k), a.BaseAddr) {
+				return nil
+			}
+		}
+		if m.bugs.BucketIterOOB && len(m.order) > 0 {
+			// Bug #9: the lock-failure path walks one element past
+			// the bucket; the read is performed by instrumented
+			// kernel code, so KASAN catches it.
+			last := m.hash[m.order[len(m.order)-1]]
+			if rep := m.dom.CheckAccess(last.End()+8, 8, false); rep != nil {
+				return rep
+			}
+		}
+		return nil
+	}
+	return ErrBadOp
+}
+
+// ValueAllocation exposes the backing allocation of an array map for
+// tests and the runtime's bounds bookkeeping.
+func (m *Map) ValueAllocation() *kmem.Allocation { return m.arr }

@@ -1,0 +1,230 @@
+package maps
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/kmem"
+)
+
+func key32(i uint32) []byte {
+	var k [4]byte
+	binary.LittleEndian.PutUint32(k[:], i)
+	return k[:]
+}
+
+func TestArrayMap(t *testing.T) {
+	d := kmem.NewDomain()
+	m, err := New(d, 3, Spec{Type: Array, KeySize: 4, ValueSize: 16, MaxEntries: 4, Name: "a"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// All slots exist with addresses inside one allocation.
+	for i := uint32(0); i < 4; i++ {
+		addr := m.LookupAddr(key32(i))
+		if addr == 0 {
+			t.Fatalf("LookupAddr(%d) = 0", i)
+		}
+		if rep := d.CheckAccess(addr, 16, true); rep != nil {
+			t.Fatalf("slot %d not valid memory: %v", i, rep)
+		}
+	}
+	if m.LookupAddr(key32(4)) != 0 {
+		t.Error("out-of-range index resolved")
+	}
+	val := make([]byte, 16)
+	val[0] = 0xab
+	if err := m.Update(key32(2), val, UpdateAny); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, _ := d.Load(m.LookupAddr(key32(2)), 1)
+	if got != 0xab {
+		t.Errorf("stored byte = %#x", got)
+	}
+	if err := m.Delete(key32(2)); err != ErrBadOp {
+		t.Errorf("array Delete = %v, want ErrBadOp", err)
+	}
+}
+
+func TestHashMapLifecycle(t *testing.T) {
+	d := kmem.NewDomain()
+	m, err := New(d, 3, Spec{Type: Hash, KeySize: 8, ValueSize: 8, MaxEntries: 2, Name: "h"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k1 := []byte("aaaaaaaa")
+	if m.LookupAddr(k1) != 0 {
+		t.Error("lookup of absent key succeeded")
+	}
+	if err := m.Update(k1, []byte("11111111"), UpdateNoExist); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := m.Update(k1, []byte("22222222"), UpdateNoExist); err != ErrExists {
+		t.Errorf("NOEXIST on present key = %v", err)
+	}
+	if err := m.Update([]byte("bbbbbbbb"), []byte("33333333"), UpdateExist); err != ErrKeyNotFound {
+		t.Errorf("EXIST on absent key = %v", err)
+	}
+	if err := m.Update([]byte("bbbbbbbb"), []byte("33333333"), UpdateAny); err != nil {
+		t.Fatalf("second insert: %v", err)
+	}
+	if err := m.Update([]byte("cccccccc"), []byte("44444444"), UpdateAny); err != ErrFull {
+		t.Errorf("insert past max_entries = %v", err)
+	}
+	addr := m.LookupAddr(k1)
+	if addr == 0 {
+		t.Fatal("lookup failed")
+	}
+	if err := m.Delete(k1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	// The old value pointer is now dangling: checked access reports UAF.
+	rep := d.CheckAccess(addr, 8, false)
+	if rep == nil || rep.Kind != kmem.ReportUAF {
+		t.Errorf("stale value access = %v, want UAF", rep)
+	}
+	if m.Entries() != 1 {
+		t.Errorf("Entries = %d", m.Entries())
+	}
+}
+
+func TestPerCPUArray(t *testing.T) {
+	d := kmem.NewDomain()
+	m, err := New(d, 3, Spec{Type: PerCPUArray, KeySize: 4, ValueSize: 8, MaxEntries: 2, Name: "p"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.Update(key32(1), []byte("xxxxxxxx"), UpdateAny); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	addr := m.LookupAddr(key32(1))
+	if addr == 0 {
+		t.Fatal("lookup failed")
+	}
+	v, _ := d.Load(addr, 8)
+	if v != binary.LittleEndian.Uint64([]byte("xxxxxxxx")) {
+		t.Errorf("percpu value = %#x", v)
+	}
+}
+
+func TestQueueStack(t *testing.T) {
+	d := kmem.NewDomain()
+	q, _ := New(d, 3, Spec{Type: Queue, ValueSize: 4, MaxEntries: 2, Name: "q"})
+	s, _ := New(d, 4, Spec{Type: Stack, ValueSize: 4, MaxEntries: 2, Name: "s"})
+	for _, m := range []*Map{q, s} {
+		if err := m.Push([]byte{1, 0, 0, 0}); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if err := m.Push([]byte{2, 0, 0, 0}); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if err := m.Push([]byte{3, 0, 0, 0}); err != ErrFull {
+			t.Errorf("push past capacity = %v", err)
+		}
+	}
+	v, err := q.Pop()
+	if err != nil || v[0] != 1 {
+		t.Errorf("queue Pop = %v, %v (want FIFO)", v, err)
+	}
+	v, err = s.Pop()
+	if err != nil || v[0] != 2 {
+		t.Errorf("stack Pop = %v, %v (want LIFO)", v, err)
+	}
+	q.Pop()
+	if _, err := q.Pop(); err != ErrEmpty {
+		t.Errorf("empty Pop = %v", err)
+	}
+}
+
+func TestRingBuf(t *testing.T) {
+	d := kmem.NewDomain()
+	if _, err := New(d, 3, Spec{Type: RingBuf, MaxEntries: 100, Name: "rb"}); err == nil {
+		t.Error("non-power-of-two ringbuf accepted")
+	}
+	m, err := New(d, 3, Spec{Type: RingBuf, MaxEntries: 16, Name: "rb"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RingbufOutput([]byte("hello")); err != nil {
+		t.Fatalf("output: %v", err)
+	}
+	// Wrapping write works.
+	if err := m.RingbufOutput([]byte("0123456789abcde")); err != nil {
+		t.Fatalf("wrapping output: %v", err)
+	}
+	if err := m.RingbufOutput(make([]byte, 17)); err != ErrFull {
+		t.Errorf("oversized output = %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	d := kmem.NewDomain()
+	bad := []Spec{
+		{Type: Array, KeySize: 8, ValueSize: 4, MaxEntries: 1}, // array key != 4
+		{Type: Array, KeySize: 4, ValueSize: 0, MaxEntries: 1}, // zero value
+		{Type: Hash, KeySize: 0, ValueSize: 4, MaxEntries: 1},  // zero key
+		{Type: Queue, KeySize: 4, ValueSize: 4, MaxEntries: 1}, // queue key != 0
+		{Type: Array, KeySize: 4, ValueSize: 4, MaxEntries: 0}, // zero entries
+		{Type: Type(99), KeySize: 4, ValueSize: 4, MaxEntries: 1},
+	}
+	for i, spec := range bad {
+		if _, err := New(d, 3, spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestIterate(t *testing.T) {
+	d := kmem.NewDomain()
+	m, _ := New(d, 3, Spec{Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8, Name: "h"})
+	for i := uint32(0); i < 4; i++ {
+		m.Update(key32(i), []byte{byte(i), 0, 0, 0, 0, 0, 0, 0}, UpdateAny)
+	}
+	var seen []uint32
+	err := m.Iterate(func(k []byte, addr uint64) bool {
+		seen = append(seen, binary.LittleEndian.Uint32(k))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("iterated %d entries", len(seen))
+	}
+	// Insertion order is preserved (deterministic).
+	for i, k := range seen {
+		if k != uint32(i) {
+			t.Errorf("order broken: %v", seen)
+			break
+		}
+	}
+}
+
+func TestIterateBug9(t *testing.T) {
+	d := kmem.NewDomain()
+	m, _ := New(d, 3, Spec{Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8, Name: "h"})
+	m.SetBugs(Bugs{BucketIterOOB: true})
+	m.Update(key32(0), make([]byte, 8), UpdateAny)
+	err := m.Iterate(func(k []byte, addr uint64) bool { return true })
+	rep, ok := err.(*kmem.Report)
+	if !ok || rep.Kind != kmem.ReportOOB {
+		t.Fatalf("bug9 iterate = %v, want KASAN OOB", err)
+	}
+	// Without the knob the same walk is clean.
+	m.SetBugs(Bugs{})
+	if err := m.Iterate(func(k []byte, addr uint64) bool { return true }); err != nil {
+		t.Errorf("clean iterate: %v", err)
+	}
+}
+
+func BenchmarkHashUpdateLookup(b *testing.B) {
+	d := kmem.NewDomain()
+	m, _ := New(d, 3, Spec{Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 1024, Name: "h"})
+	val := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key32(uint32(i) % 512)
+		m.Update(k, val, UpdateAny)
+		m.LookupAddr(k)
+	}
+}

@@ -1,0 +1,249 @@
+// Package sanitizer implements BVF's memory-access sanitation (§4.2): an
+// instruction-level rewrite of verified programs that dispatches every
+// original load/store to the KASAN-instrumented bpf_asan_* kernel
+// functions, and asserts at runtime that scalar operands of pointer
+// arithmetic stay within the range the verifier computed (the alu_limit
+// checks). The pass runs after the verifier's own rewrite phase, exactly
+// as the paper's kernel patches hook bpf_misc_fixup().
+//
+// Instrumentation shape for an 8-byte load rD = *(u64 *)(rS + off)
+// (paper Figure 5):
+//
+//	r11 = r1                  ; backup R1 into the aux register
+//	*(u64 *)(r10 +8) = r0     ; backup R0 into the extended stack
+//	r1 = rS                   ; target address (via r11 if rS is r1)
+//	r1 += off
+//	call bpf_asan_load8       ; KASAN-checked validation
+//	r0 = *(u64 *)(r10 +8)     ; restore R0
+//	r1 = r11                  ; restore R1
+//	rD = *(u64 *)(rS + off)   ; original instruction
+//
+// Footprint-reduction rules from the paper are honored: accesses based on
+// R10 with constant offsets are skipped (validated statically), and
+// instructions emitted by other rewrite passes are never instrumented.
+package sanitizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/verifier"
+)
+
+// r0Backup is the extended-stack offset (above the frame pointer) used to
+// preserve R0 around the dispatch call.
+const r0Backup int16 = 8
+
+// Stats reports what the pass did, feeding the §6.4 overhead experiment.
+type Stats struct {
+	// OrigSlots / OutSlots count encoded instruction slots before and
+	// after instrumentation.
+	OrigSlots int
+	OutSlots  int
+	// MemChecks is the number of load/store dispatch blocks inserted.
+	MemChecks int
+	// RangeChecks is the number of alu_limit assertion blocks inserted.
+	RangeChecks int
+	// Skipped counts load/stores left untouched by the reduction rules.
+	Skipped int
+}
+
+// Footprint returns the instruction-count expansion factor.
+func (s *Stats) Footprint() float64 {
+	if s.OrigSlots == 0 {
+		return 1
+	}
+	return float64(s.OutSlots) / float64(s.OrigSlots)
+}
+
+// Instrument rewrites prog (the verifier's fixed-up output) and returns
+// the sanitized program plus statistics. checks are the verifier's
+// recorded pointer-arithmetic range beliefs.
+func Instrument(prog *isa.Program, checks []verifier.RangeCheck) (*isa.Program, *Stats, error) {
+	stats := &Stats{OrigSlots: prog.Slots()}
+	rcByInsn := make(map[int]verifier.RangeCheck, len(checks))
+	for _, rc := range checks {
+		// Fully widened checks (neutralized by ptr/scalar path mixes)
+		// can never fire; skip the dead instrumentation.
+		if rc.SMin == math.MinInt64 && rc.SMax == math.MaxInt64 {
+			continue
+		}
+		rcByInsn[rc.InsnIdx] = rc
+	}
+
+	out := &isa.Program{
+		Type: prog.Type, Name: prog.Name,
+		AttachTo: prog.AttachTo, GPLCompatible: prog.GPLCompatible,
+	}
+	blockStart := make([]int, len(prog.Insns)) // orig idx -> new idx of its block
+	origPos := make([]int, len(prog.Insns))    // orig idx -> new idx of the original insn
+
+	for i, ins := range prog.Insns {
+		blockStart[i] = len(out.Insns)
+		if rc, ok := rcByInsn[i]; ok {
+			out.Insns = append(out.Insns, rangeCheckBlock(rc)...)
+			stats.RangeChecks++
+		}
+		if pre, ok := memCheckBlock(ins); ok {
+			out.Insns = append(out.Insns, pre...)
+			stats.MemChecks++
+			ins.Meta.Sanitized = true
+		} else if ins.IsMemLoad() || ins.IsMemStore() || ins.IsAtomic() {
+			stats.Skipped++
+		}
+		origPos[i] = len(out.Insns)
+		out.Insns = append(out.Insns, ins)
+	}
+
+	// Recompute jump offsets: original jumps must land on the *block
+	// start* of their target so instrumentation is never bypassed.
+	newSlot := make([]int, len(out.Insns)+1)
+	for i := range out.Insns {
+		newSlot[i+1] = newSlot[i] + widthOf(out.Insns[i])
+	}
+	origSlot := make([]int, len(prog.Insns)+1)
+	for i := range prog.Insns {
+		origSlot[i+1] = origSlot[i] + widthOf(prog.Insns[i])
+	}
+	origIdxOfSlot := make(map[int]int, len(prog.Insns))
+	for i := range prog.Insns {
+		origIdxOfSlot[origSlot[i]] = i
+	}
+
+	for i, ins := range prog.Insns {
+		isJump := ins.IsCondJump() || ins.IsUncondJump()
+		if !isJump && !ins.IsPseudoCall() {
+			continue
+		}
+		var delta int32
+		if ins.IsPseudoCall() {
+			delta = ins.Imm
+		} else {
+			delta = int32(ins.Off)
+		}
+		tgtOrig, ok := origIdxOfSlot[origSlot[i]+widthOf(ins)+int(delta)]
+		if !ok {
+			return nil, nil, fmt.Errorf("sanitizer: insn %d jumps to unmapped slot", i)
+		}
+		p := origPos[i]
+		newOff := newSlot[blockStart[tgtOrig]] - (newSlot[p] + widthOf(out.Insns[p]))
+		if ins.IsPseudoCall() {
+			out.Insns[p].Imm = int32(newOff)
+		} else {
+			if newOff > 32767 || newOff < -32768 {
+				return nil, nil, fmt.Errorf("sanitizer: rewritten jump offset %d overflows", newOff)
+			}
+			out.Insns[p].Off = int16(newOff)
+		}
+	}
+
+	stats.OutSlots = out.Slots()
+	return out, stats, nil
+}
+
+func widthOf(ins isa.Instruction) int {
+	if ins.IsWide() {
+		return 2
+	}
+	return 1
+}
+
+// memCheckBlock builds the dispatch block for one memory access, or
+// returns ok=false when the access is skipped by the reduction rules.
+func memCheckBlock(ins isa.Instruction) ([]isa.Instruction, bool) {
+	isLoad := ins.IsMemLoad()
+	isStore := ins.IsMemStore() || ins.IsAtomic()
+	if !isLoad && !isStore {
+		return nil, false
+	}
+	if ins.Meta.RewriteEmitted || ins.Meta.Sanitized {
+		return nil, false
+	}
+	// Probe reads are exception-handled by design: the kernel tolerates
+	// faulting addresses there (trusted BTF pointers may be null), so
+	// dispatching them to bpf_asan would turn legal behaviour into
+	// splats. KASAN still observes genuinely invalid probe reads into
+	// mapped objects via its own instrumentation of the probe path.
+	if ins.Meta.ProbeMem {
+		return nil, false
+	}
+	var base uint8
+	if isLoad {
+		base = ins.Src
+	} else {
+		base = ins.Dst
+	}
+	// R10-based constant accesses are validated statically (§4.2).
+	if base == isa.R10 {
+		return nil, false
+	}
+	size := ins.AccessSize()
+	var callID int32
+	if isLoad {
+		callID = helpers.AsanLoadID(size)
+	} else {
+		callID = helpers.AsanStoreID(size)
+	}
+
+	b := []isa.Instruction{
+		isa.Mov64Reg(isa.R11, isa.R1),                       // backup R1
+		isa.StoreMem(isa.SizeDW, isa.R10, isa.R0, r0Backup), // backup R0
+	}
+	if base == isa.R1 {
+		b = append(b, isa.Mov64Reg(isa.R1, isa.R11))
+	} else {
+		b = append(b, isa.Mov64Reg(isa.R1, base))
+	}
+	b = append(b,
+		isa.Alu64Imm(isa.ALUAdd, isa.R1, int32(ins.Off)),
+		isa.Call(callID),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, r0Backup), // restore R0
+		isa.Mov64Reg(isa.R1, isa.R11),                      // restore R1
+	)
+	for i := range b {
+		b[i].Meta.RewriteEmitted = true
+	}
+	return b, true
+}
+
+// rangeCheckBlock builds the alu_limit assertion for a pointer-arithmetic
+// site: if the scalar register's runtime value escapes the verifier's
+// believed signed range, bpf_asan reports the violation. The asserted
+// register value is passed in R1.
+func rangeCheckBlock(rc verifier.RangeCheck) []isa.Instruction {
+	smin := clampI32(rc.SMin)
+	smax := clampI32(rc.SMax)
+	var b []isa.Instruction
+	b = append(b,
+		isa.Mov64Reg(isa.R11, isa.R1),                       // backup R1
+		isa.StoreMem(isa.SizeDW, isa.R10, isa.R0, r0Backup), // backup R0 (call may report)
+	)
+	if rc.Reg == isa.R1 {
+		b = append(b, isa.Mov64Reg(isa.R1, isa.R11))
+	} else {
+		b = append(b, isa.Mov64Reg(isa.R1, rc.Reg))
+	}
+	b = append(b,
+		isa.JumpImm(isa.JSLT, isa.R1, smin, 1), // below believed min -> report
+		isa.JumpImm(isa.JSLE, isa.R1, smax, 1), // within -> skip report
+		isa.Call(helpers.AsanRangeViolation),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, r0Backup),
+		isa.Mov64Reg(isa.R1, isa.R11),
+	)
+	for i := range b {
+		b[i].Meta.RewriteEmitted = true
+	}
+	return b
+}
+
+func clampI32(v int64) int32 {
+	if v > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	if v < -(1 << 31) {
+		return -(1 << 31)
+	}
+	return int32(v)
+}

@@ -1,0 +1,305 @@
+package sanitizer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kmem"
+	"repro/internal/runtime"
+	"repro/internal/verifier"
+)
+
+func prog(insns ...isa.Instruction) *isa.Program {
+	return &isa.Program{Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Insns: insns}
+}
+
+func TestInstrumentInsertsDispatch(t *testing.T) {
+	p := prog(
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+		isa.StoreImm(isa.SizeDW, isa.R2, 0, 7),     // store via r2: instrumented
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R2, 0), // load via r2: instrumented
+		isa.Exit(),
+	)
+	out, stats, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	if stats.MemChecks != 2 {
+		t.Errorf("MemChecks = %d, want 2", stats.MemChecks)
+	}
+	// Each dispatch block adds 7 insns.
+	if out.Slots() != p.Slots()+14 {
+		t.Errorf("out slots = %d, want %d", out.Slots(), p.Slots()+14)
+	}
+	// The dispatch calls carry the right IDs.
+	var sawLoad, sawStore bool
+	for _, ins := range out.Insns {
+		if ins.IsHelperCall() {
+			if ins.Imm == helpers.AsanLoadID(8) {
+				sawLoad = true
+			}
+			if ins.Imm == helpers.AsanStoreID(8) {
+				sawStore = true
+			}
+		}
+	}
+	if !sawLoad || !sawStore {
+		t.Error("dispatch calls missing")
+	}
+}
+
+func TestSkipRules(t *testing.T) {
+	// R10-based constant accesses are skipped.
+	p := prog(
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 7),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, -8),
+		isa.Exit(),
+	)
+	out, stats, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	if stats.MemChecks != 0 || stats.Skipped != 2 {
+		t.Errorf("MemChecks=%d Skipped=%d", stats.MemChecks, stats.Skipped)
+	}
+	if out.Slots() != p.Slots() {
+		t.Errorf("instructions inserted despite skip rules")
+	}
+
+	// Rewrite-emitted instructions are skipped.
+	ld := isa.LoadMem(isa.SizeDW, isa.R0, isa.R1, 0)
+	ld.Meta.RewriteEmitted = true
+	p2 := prog(isa.Mov64Imm(isa.R0, 0), ld, isa.Exit())
+	_, stats2, _ := Instrument(p2, nil)
+	if stats2.MemChecks != 0 {
+		t.Error("rewrite-emitted insn instrumented")
+	}
+
+	// Idempotence: instrumenting twice adds nothing the second time.
+	p3 := prog(
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+		isa.StoreImm(isa.SizeDW, isa.R2, 0, 7),
+		isa.Exit(),
+	)
+	once, s1, _ := Instrument(p3, nil)
+	twice, s2, _ := Instrument(once, nil)
+	if s1.MemChecks != 1 || s2.MemChecks != 0 {
+		t.Errorf("idempotence broken: first=%d second=%d", s1.MemChecks, s2.MemChecks)
+	}
+	if twice.Slots() != once.Slots() {
+		t.Error("second pass grew the program")
+	}
+}
+
+func TestJumpOffsetsFixed(t *testing.T) {
+	// A conditional jump over an instrumented load must still reach the
+	// same logical instruction.
+	p := prog(
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+		isa.StoreImm(isa.SizeDW, isa.R10, -8, 5),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.JumpImm(isa.JEQ, isa.R0, 1, 2),         // skips the load + mov below
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R2, 0), // instrumented
+		isa.Mov64Imm(isa.R0, 9),
+		isa.Exit(),
+	)
+	out, _, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	if err := out.Validate(isa.MaxInsns); err != nil {
+		t.Fatalf("instrumented program invalid: %v", err)
+	}
+	// Not-taken path executes the load (r0 = 5 then 9); semantics check
+	// via the interpreter.
+	m := runtime.NewMachine(bugs.None())
+	res := runtime.NewExec(m, out).Run()
+	if res.Err != nil || res.R0 != 9 {
+		t.Errorf("instrumented run: R0=%d err=%v", res.R0, res.Err)
+	}
+}
+
+func TestBackwardJumpFixed(t *testing.T) {
+	// Loop body contains an instrumented store; the back edge must be
+	// stretched by the inserted block.
+	p := prog(
+		isa.Mov64Imm(isa.R6, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+		// loop:
+		isa.StoreMem(isa.SizeDW, isa.R2, isa.R6, 0), // instrumented
+		isa.Alu64Imm(isa.ALUAdd, isa.R6, 1),
+		isa.JumpImm(isa.JLT, isa.R6, 5, -3),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, -8),
+		isa.Exit(),
+	)
+	out, _, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	m := runtime.NewMachine(bugs.None())
+	res := runtime.NewExec(m, out).Run()
+	if res.Err != nil || res.R0 != 4 {
+		t.Errorf("loop with instrumentation: R0=%d err=%v", res.R0, res.Err)
+	}
+}
+
+// TestSemanticPreservation is the core property: on clean programs the
+// sanitized rewrite computes the same R0 as the original.
+func TestSemanticPreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		var insns []isa.Instruction
+		// Seed some stack state.
+		insns = append(insns,
+			isa.StoreImm(isa.SizeDW, isa.R10, -8, int32(r.Intn(1000))),
+			isa.StoreImm(isa.SizeDW, isa.R10, -16, int32(r.Intn(1000))),
+			isa.Mov64Reg(isa.R2, isa.R10),
+			isa.Alu64Imm(isa.ALUAdd, isa.R2, -16),
+			isa.Mov64Imm(isa.R0, 0),
+		)
+		n := 3 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			switch r.Intn(5) {
+			case 0:
+				insns = append(insns, isa.LoadMem(isa.SizeDW, isa.R3, isa.R2, int16(8*r.Intn(2))))
+			case 1:
+				insns = append(insns, isa.StoreMem(isa.SizeDW, isa.R2, isa.R0, 0))
+			case 2:
+				insns = append(insns, isa.Alu64Imm(isa.ALUAdd, isa.R0, int32(r.Intn(100))))
+			case 3:
+				insns = append(insns, isa.Alu64Imm(isa.ALUXor, isa.R0, int32(r.Intn(100))))
+			case 4:
+				insns = append(insns, isa.StoreImm(isa.SizeW, isa.R2, 4, int32(r.Intn(100))))
+			}
+		}
+		insns = append(insns, isa.Alu64Reg(isa.ALUAdd, isa.R0, isa.R3), isa.Exit())
+		// R3 may be uninitialized if no load happened; initialize first.
+		full := append([]isa.Instruction{isa.Mov64Imm(isa.R3, 0)}, insns...)
+		p := prog(full...)
+
+		san, _, err := Instrument(p, nil)
+		if err != nil {
+			t.Fatalf("Instrument: %v", err)
+		}
+		m1 := runtime.NewMachine(bugs.None())
+		m2 := runtime.NewMachine(bugs.None())
+		o1 := runtime.NewExec(m1, p).Run()
+		o2 := runtime.NewExec(m2, san).Run()
+		if (o1.Err == nil) != (o2.Err == nil) {
+			t.Fatalf("trial %d: error divergence: %v vs %v\n%s", trial, o1.Err, o2.Err, p)
+		}
+		if o1.Err == nil && o1.R0 != o2.R0 {
+			t.Fatalf("trial %d: R0 divergence: %d vs %d\norig:\n%s\nsan:\n%s",
+				trial, o1.R0, o2.R0, p, san)
+		}
+	}
+}
+
+func TestSanitizerCatchesBadStore(t *testing.T) {
+	// A store past the stack: raw execution is silent, sanitized
+	// execution reports OOB.
+	p := prog(
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, 100), // past the stack, inside the redzone
+		isa.StoreImm(isa.SizeDW, isa.R2, 0, 1),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	)
+	m := runtime.NewMachine(bugs.None())
+	if out := runtime.NewExec(m, p).Run(); out.Err != nil {
+		t.Fatalf("raw run faulted: %v", out.Err)
+	}
+	san, _, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	m2 := runtime.NewMachine(bugs.None())
+	out := runtime.NewExec(m2, san).Run()
+	var rep *kmem.Report
+	if !errors.As(out.Err, &rep) || rep.Kind != kmem.ReportOOB {
+		t.Errorf("sanitized bad store = %v, want KASAN OOB", out.Err)
+	}
+}
+
+func TestRangeCheckAssertion(t *testing.T) {
+	// The verifier believed R6 is in [0, 3]; at runtime it is 40.
+	p := prog(
+		isa.Mov64Imm(isa.R6, 40),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Reg(isa.ALUAdd, isa.R2, isa.R6), // range-checked site
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	)
+	checks := []verifier.RangeCheck{{InsnIdx: 2, Reg: isa.R6, SMin: 0, SMax: 3, UMax: 3}}
+	san, stats, err := Instrument(p, checks)
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	if stats.RangeChecks != 1 {
+		t.Fatalf("RangeChecks = %d", stats.RangeChecks)
+	}
+	m := runtime.NewMachine(bugs.None())
+	out := runtime.NewExec(m, san).Run()
+	var rv *runtime.RangeViolationError
+	if !errors.As(out.Err, &rv) {
+		t.Fatalf("range assertion outcome = %v", out.Err)
+	}
+	if rv.Value != 40 {
+		t.Errorf("reported value = %d", rv.Value)
+	}
+
+	// In-range value passes.
+	p.Insns[0] = isa.Mov64Imm(isa.R6, 2)
+	san2, _, _ := Instrument(p, checks)
+	m2 := runtime.NewMachine(bugs.None())
+	if out := runtime.NewExec(m2, san2).Run(); out.Err != nil {
+		t.Errorf("in-range run faulted: %v", out.Err)
+	}
+}
+
+func TestFootprintStats(t *testing.T) {
+	p := prog(
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -8),
+		isa.StoreImm(isa.SizeDW, isa.R2, 0, 1),
+		isa.LoadMem(isa.SizeDW, isa.R0, isa.R2, 0),
+		isa.Exit(),
+	)
+	_, stats, err := Instrument(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Footprint() <= 1.0 {
+		t.Errorf("Footprint = %v, want > 1", stats.Footprint())
+	}
+	if stats.OrigSlots != p.Slots() {
+		t.Errorf("OrigSlots = %d", stats.OrigSlots)
+	}
+}
+
+func BenchmarkInstrument(b *testing.B) {
+	var insns []isa.Instruction
+	insns = append(insns, isa.Mov64Reg(isa.R2, isa.R10), isa.Alu64Imm(isa.ALUAdd, isa.R2, -64))
+	for i := 0; i < 30; i++ {
+		insns = append(insns,
+			isa.StoreImm(isa.SizeDW, isa.R2, int16(8*(i%8)), int32(i)),
+			isa.LoadMem(isa.SizeDW, isa.R3, isa.R2, int16(8*(i%8))),
+		)
+	}
+	insns = append(insns, isa.Mov64Imm(isa.R0, 0), isa.Exit())
+	p := prog(insns...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Instrument(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

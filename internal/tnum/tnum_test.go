@@ -1,0 +1,285 @@
+package tnum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sample draws a concrete member of t using bits from r.
+func sample(t Tnum, r *rand.Rand) uint64 {
+	return t.Value | (r.Uint64() & t.Mask)
+}
+
+// arbitrary builds a random tnum whose Value and Mask do not overlap.
+func arbitrary(r *rand.Rand) Tnum {
+	m := r.Uint64()
+	v := r.Uint64() &^ m
+	return Tnum{Value: v, Mask: m}
+}
+
+func TestConst(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, ^uint64(0), 1 << 63} {
+		c := Const(v)
+		if !c.IsConst() || c.Value != v {
+			t.Errorf("Const(%#x) = %v, want constant", v, c)
+		}
+		if !c.Contains(v) {
+			t.Errorf("Const(%#x) does not contain itself", v)
+		}
+		if v != 0 && c.Contains(v-1) {
+			t.Errorf("Const(%#x) contains %#x", v, v-1)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	cases := []struct{ min, max uint64 }{
+		{0, 0}, {0, 1}, {0, 255}, {4, 7}, {100, 200}, {0, ^uint64(0)},
+		{1 << 32, 1<<32 + 15},
+	}
+	r := rand.New(rand.NewSource(1))
+	for _, c := range cases {
+		tn := Range(c.min, c.max)
+		for i := 0; i < 200; i++ {
+			v := c.min
+			if span := c.max - c.min + 1; span != 0 {
+				v += r.Uint64() % span
+			} else {
+				v = r.Uint64() // full range
+			}
+			if !tn.Contains(v) {
+				t.Errorf("Range(%#x,%#x)=%v does not contain %#x", c.min, c.max, tn, v)
+			}
+		}
+	}
+}
+
+func TestRangeFullIsUnknown(t *testing.T) {
+	if got := Range(0, ^uint64(0)); !got.IsUnknown() {
+		t.Errorf("Range(0, max) = %v, want unknown", got)
+	}
+}
+
+// checkBinop verifies soundness of a binary operation: for members a of ta
+// and b of tb, f(a,b) must be a member of F(ta,tb).
+func checkBinop(t *testing.T, name string, F func(Tnum, Tnum) Tnum, f func(a, b uint64) uint64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		ta, tb := arbitrary(r), arbitrary(r)
+		res := F(ta, tb)
+		for j := 0; j < 8; j++ {
+			a, b := sample(ta, r), sample(tb, r)
+			if got := f(a, b); !res.Contains(got) {
+				t.Fatalf("%s unsound: ta=%v tb=%v a=%#x b=%#x concrete=%#x abstract=%v",
+					name, ta, tb, a, b, got, res)
+			}
+		}
+	}
+}
+
+func TestAddSound(t *testing.T) {
+	checkBinop(t, "Add", Add, func(a, b uint64) uint64 { return a + b })
+}
+
+func TestSubSound(t *testing.T) {
+	checkBinop(t, "Sub", Sub, func(a, b uint64) uint64 { return a - b })
+}
+
+func TestAndSound(t *testing.T) {
+	checkBinop(t, "And", And, func(a, b uint64) uint64 { return a & b })
+}
+
+func TestOrSound(t *testing.T) {
+	checkBinop(t, "Or", Or, func(a, b uint64) uint64 { return a | b })
+}
+
+func TestXorSound(t *testing.T) {
+	checkBinop(t, "Xor", Xor, func(a, b uint64) uint64 { return a ^ b })
+}
+
+func TestMulSound(t *testing.T) {
+	checkBinop(t, "Mul", Mul, func(a, b uint64) uint64 { return a * b })
+}
+
+func TestUnionSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		ta, tb := arbitrary(r), arbitrary(r)
+		u := Union(ta, tb)
+		for j := 0; j < 8; j++ {
+			if a := sample(ta, r); !u.Contains(a) {
+				t.Fatalf("Union(%v,%v)=%v misses member %#x of first arg", ta, tb, u, a)
+			}
+			if b := sample(tb, r); !u.Contains(b) {
+				t.Fatalf("Union(%v,%v)=%v misses member %#x of second arg", ta, tb, u, b)
+			}
+		}
+	}
+}
+
+func TestIntersectOfOverlapping(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		// Build two tnums guaranteed to share the member v.
+		v := r.Uint64()
+		ma, mb := r.Uint64(), r.Uint64()
+		ta := Tnum{Value: v &^ ma, Mask: ma}
+		tb := Tnum{Value: v &^ mb, Mask: mb}
+		got := Intersect(ta, tb)
+		if !got.Contains(v) {
+			t.Fatalf("Intersect(%v,%v)=%v misses common member %#x", ta, tb, got, v)
+		}
+	}
+}
+
+func TestShiftsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		tn := arbitrary(r)
+		sh := uint8(r.Intn(64))
+		l, rr, ar := tn.Lshift(sh), tn.Rshift(sh), tn.Arshift(sh, 64)
+		for j := 0; j < 8; j++ {
+			v := sample(tn, r)
+			if !l.Contains(v << sh) {
+				t.Fatalf("Lshift unsound: %v << %d misses %#x", tn, sh, v<<sh)
+			}
+			if !rr.Contains(v >> sh) {
+				t.Fatalf("Rshift unsound: %v >> %d misses %#x", tn, sh, v>>sh)
+			}
+			if got := uint64(int64(v) >> sh); !ar.Contains(got) {
+				t.Fatalf("Arshift unsound: %v s>> %d misses %#x", tn, sh, got)
+			}
+		}
+	}
+}
+
+func TestArshift32(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 2000; i++ {
+		tn := arbitrary(r).Cast(4)
+		sh := uint8(r.Intn(32))
+		ar := tn.Arshift(sh, 32)
+		for j := 0; j < 8; j++ {
+			v := uint32(sample(tn, r))
+			got := uint64(uint32(int32(v) >> sh))
+			if !ar.Contains(got) {
+				t.Fatalf("Arshift32 unsound: %v s>> %d misses %#x (from %#x)", tn, sh, got, v)
+			}
+		}
+	}
+}
+
+func TestCast(t *testing.T) {
+	tn := Tnum{Value: 0xff00ff00ff00ff00, Mask: 0x00ff00ff00ff00ff}
+	c := tn.Cast(4)
+	if c.Value != 0xff00ff00&0xffffffff || c.Mask != 0x00ff00ff {
+		t.Errorf("Cast(4) = %v", c)
+	}
+	if got := tn.Cast(8); got != tn {
+		t.Errorf("Cast(8) changed the tnum: %v", got)
+	}
+}
+
+func TestInReflexiveAndConst(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 1000; i++ {
+		tn := arbitrary(r)
+		if !In(tn, tn) {
+			t.Fatalf("In not reflexive for %v", tn)
+		}
+		v := sample(tn, r)
+		if !In(Const(v), tn) {
+			t.Fatalf("member constant %#x not In %v", v, tn)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 1000; i++ {
+		tn := arbitrary(r)
+		for j := 0; j < 8; j++ {
+			v := sample(tn, r)
+			if v < tn.Min() || v > tn.Max() {
+				t.Fatalf("member %#x outside [%#x,%#x] of %v", v, tn.Min(), tn.Max(), tn)
+			}
+		}
+		if !tn.Contains(tn.Min()) || !tn.Contains(tn.Max()) {
+			t.Fatalf("Min/Max of %v not members", tn)
+		}
+	}
+}
+
+func TestWithSubreg(t *testing.T) {
+	hi := Tnum{Value: 0xaaaa000000000000, Mask: 0x0000ffff00000000}
+	lo := Const(0x12345678)
+	got := hi.WithSubreg(lo)
+	if got.Value&0xffffffff != 0x12345678 {
+		t.Errorf("WithSubreg low bits = %#x", got.Value&0xffffffff)
+	}
+	if got.Value>>32 != hi.Value>>32 || got.Mask>>32 != hi.Mask>>32 {
+		t.Errorf("WithSubreg disturbed high bits: %v", got)
+	}
+	if got.Mask&0xffffffff != 0 {
+		t.Errorf("WithSubreg left unknown low bits: %v", got)
+	}
+}
+
+func TestClearSubreg(t *testing.T) {
+	tn := Tnum{Value: 0x1200000034000000, Mask: 0x00ff0000000000ff}
+	got := tn.ClearSubreg()
+	if got.Value&0xffffffff != 0 || got.Mask&0xffffffff != 0 {
+		t.Errorf("ClearSubreg left low bits: %v", got)
+	}
+}
+
+func TestIsAligned(t *testing.T) {
+	if !Const(8).IsAligned(8) {
+		t.Error("Const(8) not 8-aligned")
+	}
+	if Const(4).IsAligned(8) {
+		t.Error("Const(4) claimed 8-aligned")
+	}
+	// Unknown low bits break alignment.
+	if (Tnum{Value: 8, Mask: 1}).IsAligned(2) {
+		t.Error("tnum with unknown bit 0 claimed 2-aligned")
+	}
+}
+
+// Property: Range always contains its endpoints (quick-checked).
+func TestRangeEndpointsProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		min, max := a, b
+		if min > max {
+			min, max = max, min
+		}
+		tn := Range(min, max)
+		return tn.Contains(min) && tn.Contains(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add identity — Add(t, Const(0)) contains the same members.
+func TestAddZeroIdentityProperty(t *testing.T) {
+	f := func(v, m uint64) bool {
+		tn := Tnum{Value: v &^ m, Mask: m}
+		got := Add(tn, Const(0))
+		return got == tn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	ta, tb := arbitrary(r), arbitrary(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(ta, tb)
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace models the kernel's tracepoint infrastructure: named
+// tracepoints, program attachment, and the re-entrancy behaviour that
+// produces the paper's Figure 2 deadlock. When a helper invoked by a
+// program attached to a tracepoint re-fires that same tracepoint (e.g. a
+// lock-taking helper firing contention_begin), the attached program runs
+// again recursively; depth accounting terminates the simulation and the
+// locking validator reports the inconsistent state.
+package trace
+
+import "fmt"
+
+// Well-known tracepoint names used throughout the repository.
+const (
+	// ContentionBegin fires when a lock acquisition contends (paper
+	// bug #5 attaches here).
+	ContentionBegin = "contention_begin"
+	// TracePrintk fires on every bpf_trace_printk call (paper bug #4).
+	TracePrintk = "bpf_trace_printk"
+	// SchedSwitch is an ordinary scheduler tracepoint.
+	SchedSwitch = "sched_switch"
+	// SysEnter is the syscall-entry tracepoint.
+	SysEnter = "sys_enter"
+	// KprobeGeneric stands in for an arbitrary kprobe attach point.
+	KprobeGeneric = "kprobe:generic"
+)
+
+// Names lists every tracepoint the simulated kernel exposes.
+var Names = []string{ContentionBegin, TracePrintk, SchedSwitch, SysEnter, KprobeGeneric}
+
+// Handler is an attached program invocation. The depth argument is the
+// current re-entrancy depth of the tracepoint (1 for the first entry).
+type Handler func(depth int) error
+
+// RecursionError reports that a tracepoint re-fired past the allowed
+// depth — the simulator's stand-in for a hung CPU / deadlock splat.
+type RecursionError struct {
+	Tracepoint string
+	Depth      int
+}
+
+func (e *RecursionError) Error() string {
+	return fmt.Sprintf("trace: recursion on tracepoint %q reached depth %d (deadlock)", e.Tracepoint, e.Depth)
+}
+
+// Manager owns the tracepoint registry and attachment state.
+type Manager struct {
+	handlers map[string][]Handler
+	depth    map[string]int
+	fired    map[string]int
+
+	// MaxDepth bounds re-entrancy before a RecursionError is produced.
+	// The kernel's bpf_prog_active guard corresponds to MaxDepth=1;
+	// missing guards (the bug knobs) raise it so the recursion is
+	// observable.
+	MaxDepth int
+}
+
+// NewManager returns a Manager with every well-known tracepoint
+// registered and MaxDepth 4.
+func NewManager() *Manager {
+	m := &Manager{
+		handlers: make(map[string][]Handler),
+		depth:    make(map[string]int),
+		fired:    make(map[string]int),
+		MaxDepth: 4,
+	}
+	return m
+}
+
+// Exists reports whether name is a known tracepoint.
+func (m *Manager) Exists(name string) bool {
+	for _, n := range Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Attach registers h on the named tracepoint.
+func (m *Manager) Attach(name string, h Handler) error {
+	if !m.Exists(name) {
+		return fmt.Errorf("trace: unknown tracepoint %q", name)
+	}
+	m.handlers[name] = append(m.handlers[name], h)
+	return nil
+}
+
+// Detach removes every handler from the named tracepoint.
+func (m *Manager) Detach(name string) {
+	delete(m.handlers, name)
+}
+
+// Fire triggers the named tracepoint, invoking each attached handler. If
+// re-entrancy exceeds MaxDepth, a RecursionError is returned without
+// invoking handlers again (the simulated CPU would otherwise never
+// terminate).
+func (m *Manager) Fire(name string) error {
+	m.fired[name]++
+	if len(m.handlers[name]) == 0 {
+		return nil
+	}
+	m.depth[name]++
+	depth := m.depth[name]
+	defer func() { m.depth[name]-- }()
+	if depth > m.MaxDepth {
+		return &RecursionError{Tracepoint: name, Depth: depth}
+	}
+	for _, h := range m.handlers[name] {
+		if err := h(depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Depth returns the current re-entrancy depth of the named tracepoint.
+func (m *Manager) Depth(name string) int { return m.depth[name] }
+
+// FireCount returns how many times the named tracepoint has fired.
+func (m *Manager) FireCount(name string) int { return m.fired[name] }

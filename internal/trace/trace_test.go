@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAttachAndFire(t *testing.T) {
+	m := NewManager()
+	calls := 0
+	if err := m.Attach(SchedSwitch, func(depth int) error {
+		calls++
+		if depth != 1 {
+			t.Errorf("depth = %d, want 1", depth)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Fire(SchedSwitch); err != nil {
+			t.Fatalf("Fire: %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("handler ran %d times, want 3", calls)
+	}
+	if m.FireCount(SchedSwitch) != 3 {
+		t.Errorf("FireCount = %d", m.FireCount(SchedSwitch))
+	}
+}
+
+func TestAttachUnknownTracepoint(t *testing.T) {
+	m := NewManager()
+	if err := m.Attach("no_such_tp", func(int) error { return nil }); err == nil {
+		t.Error("Attach to unknown tracepoint succeeded")
+	}
+}
+
+func TestFireWithoutHandlersIsCheap(t *testing.T) {
+	m := NewManager()
+	if err := m.Fire(ContentionBegin); err != nil {
+		t.Errorf("Fire without handlers: %v", err)
+	}
+	if m.FireCount(ContentionBegin) != 1 {
+		t.Error("fire not counted")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	m := NewManager()
+	entries := 0
+	// A handler that re-fires its own tracepoint — the Figure 2 scenario.
+	err := m.Attach(ContentionBegin, func(depth int) error {
+		entries++
+		return m.Fire(ContentionBegin)
+	})
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	fireErr := m.Fire(ContentionBegin)
+	var rec *RecursionError
+	if !errors.As(fireErr, &rec) {
+		t.Fatalf("Fire returned %v, want RecursionError", fireErr)
+	}
+	if rec.Tracepoint != ContentionBegin {
+		t.Errorf("recursion on %q", rec.Tracepoint)
+	}
+	if entries != m.MaxDepth {
+		t.Errorf("handler entered %d times, want MaxDepth=%d", entries, m.MaxDepth)
+	}
+	if m.Depth(ContentionBegin) != 0 {
+		t.Errorf("depth not unwound: %d", m.Depth(ContentionBegin))
+	}
+}
+
+func TestDetach(t *testing.T) {
+	m := NewManager()
+	calls := 0
+	m.Attach(SysEnter, func(int) error { calls++; return nil })
+	m.Detach(SysEnter)
+	m.Fire(SysEnter)
+	if calls != 0 {
+		t.Error("handler ran after Detach")
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	m := NewManager()
+	want := errors.New("boom")
+	m.Attach(KprobeGeneric, func(int) error { return want })
+	if err := m.Fire(KprobeGeneric); !errors.Is(err, want) {
+		t.Errorf("Fire = %v, want %v", err, want)
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := NewManager()
+	for _, n := range Names {
+		if !m.Exists(n) {
+			t.Errorf("Exists(%q) = false", n)
+		}
+	}
+	if m.Exists("bogus") {
+		t.Error("Exists(bogus) = true")
+	}
+}

@@ -1,0 +1,60 @@
+package verifier
+
+import (
+	"repro/internal/isa"
+	"repro/internal/maps"
+)
+
+// fixup is the post-verification rewrite phase (the kernel's
+// resolve_pseudo_ldimm64 results + convert_ctx_accesses + do_misc_fixups
+// rolled together for this simulator):
+//
+//   - pseudo map-fd and map-value loads are resolved to the map object's
+//     kernel address / the value's address;
+//   - pseudo BTF-id loads are resolved to the kernel variable's address;
+//   - loads the checker validated through PTR_TO_BTF_ID are marked as
+//     exception-handled probe reads.
+//
+// Instruction count is unchanged, so RangeCheck indices remain valid. The
+// sanitizer (internal/sanitizer) runs after this phase, exactly as the
+// paper inserts its instrumentation "at the end of the rewriting phase".
+func (e *env) fixup() (*isa.Program, error) {
+	out := e.prog.Clone()
+	for i := range out.Insns {
+		ins := &out.Insns[i]
+		if ins.IsWide() {
+			switch ins.Src {
+			case isa.PseudoMapFD:
+				m := e.mapByFD(int32(ins.Imm64))
+				if m == nil {
+					return nil, e.reject(i, EINVAL, "fixup: stale map fd %d", int32(ins.Imm64))
+				}
+				rewriteImm64(ins, m.KernAddr)
+			case isa.PseudoMapValue:
+				m := e.mapByFD(int32(uint32(ins.Imm64)))
+				if m == nil || m.Type != maps.Array {
+					return nil, e.reject(i, EINVAL, "fixup: stale map fd")
+				}
+				off := uint64(uint32(ins.Imm64 >> 32))
+				rewriteImm64(ins, m.ValueAllocation().BaseAddr+off)
+			case isa.PseudoBTFID:
+				if e.cfg.BTFVarAddr == nil {
+					return nil, e.reject(i, EINVAL, "fixup: no btf var resolver")
+				}
+				addr := e.cfg.BTFVarAddr(int32(ins.Imm64))
+				rewriteImm64(ins, addr)
+			}
+		}
+		if e.probeMem[i] && ins.IsMemLoad() {
+			ins.Meta.ProbeMem = true
+		}
+	}
+	return out, nil
+}
+
+func rewriteImm64(ins *isa.Instruction, addr uint64) {
+	ins.Src = 0
+	ins.Imm64 = addr
+	ins.Imm = int32(uint32(addr))
+	ins.Meta.RewriteEmitted = false
+}

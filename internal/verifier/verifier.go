@@ -1,0 +1,536 @@
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/btf"
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/maps"
+)
+
+// Errno values surfaced by rejections, so campaigns can build the
+// EACCES/EINVAL histogram from §6.3.
+const (
+	EPERM  = 1
+	E2BIG  = 7
+	EACCES = 13
+	EINVAL = 22
+)
+
+// Error is a verifier rejection: the instruction it happened at, a
+// kernel-style message, and the errno the bpf() syscall would return.
+type Error struct {
+	Insn  int
+	Msg   string
+	Errno int
+	// Log carries the verifier log up to the rejection point when the
+	// verification ran with LogLevel > 0, like the log buffer the
+	// bpf(2) syscall fills for user space.
+	Log string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verifier: insn %d: %s (errno %d)", e.Insn, e.Msg, e.Errno)
+}
+
+// Config parameterizes one verification.
+type Config struct {
+	// Bugs arms the seeded correctness-bug knobs.
+	Bugs bugs.Set
+	// Helpers is the kernel's helper table.
+	Helpers *helpers.Registry
+	// BTF is the kernel type registry.
+	BTF *btf.Registry
+	// MapByFD resolves map file descriptors in LD_IMM64 pseudo insns.
+	MapByFD func(fd int32) *maps.Map
+	// BTFVarAddr resolves a pseudo BTF-id load to the kernel variable's
+	// address during fixup.
+	BTFVarAddr func(id int32) uint64
+	// Cov, when non-nil, records branch coverage of the verifier.
+	Cov *coverage.Map
+	// MaxInsnProcessed bounds the total simulated instructions
+	// (kernel: 1M; scaled down for fuzzing throughput).
+	MaxInsnProcessed int
+	// MaxStatesPerInsn bounds remembered prune states per instruction.
+	MaxStatesPerInsn int
+	// DisableKfuncs rejects kernel-function calls, modeling kernels
+	// predating kfunc support (v5.15).
+	DisableKfuncs bool
+	// EnableStats makes Verify fill the Result counters.
+	LogLevel int
+}
+
+// RangeCheck records the verifier's belief about a scalar register at a
+// pointer-arithmetic site. The sanitizer turns each into a runtime
+// assertion: if the actual value escapes [SMin,SMax]/[0,UMax], the range
+// analysis was wrong — the alu_limit mechanism from §4.2.
+type RangeCheck struct {
+	// InsnIdx is the decoded instruction index in the verified program.
+	InsnIdx int
+	// Reg is the scalar operand register.
+	Reg uint8
+	// The believed bounds.
+	SMin int64
+	SMax int64
+	UMax uint64
+}
+
+// Result is a successful verification.
+type Result struct {
+	// Prog is the rewritten (fixed-up) program ready for execution.
+	Prog *isa.Program
+	// InsnProcessed counts simulated instructions, kernel-style.
+	InsnProcessed int
+	// PeakStates is the maximum size of the exploration worklist.
+	PeakStates int
+	// TotalStates counts explored branch states.
+	TotalStates int
+	// RangeChecks drive the sanitizer's alu_limit assertions.
+	RangeChecks []RangeCheck
+	// ProbeMem marks instruction indices converted to exception-handled
+	// probe reads (PTR_TO_BTF_ID loads).
+	ProbeMem map[int]bool
+	// UsedMaps lists every map the program references.
+	UsedMaps []*maps.Map
+	// R0Bounds is the union of the verifier's beliefs about the return
+	// value across every explored exit path. A sound verifier implies
+	// every runtime return value falls inside it.
+	R0Bounds ReturnBounds
+	// Log is the verifier log (LogLevel > 0).
+	Log string
+}
+
+// ReturnBounds is the exit-value belief union.
+type ReturnBounds struct {
+	SMin int64
+	SMax int64
+	UMin uint64
+	UMax uint64
+	// Valid is false when no exit path was recorded.
+	Valid bool
+}
+
+// Contains reports whether v satisfies the recorded bounds.
+func (b ReturnBounds) Contains(v uint64) bool {
+	if !b.Valid {
+		return true
+	}
+	return int64(v) >= b.SMin && int64(v) <= b.SMax && v >= b.UMin && v <= b.UMax
+}
+
+// widen folds one exit path's R0 belief into the union.
+func (b *ReturnBounds) widen(r *RegState) {
+	if !b.Valid {
+		b.SMin, b.SMax, b.UMin, b.UMax = r.SMin, r.SMax, r.UMin, r.UMax
+		b.Valid = true
+		return
+	}
+	if r.SMin < b.SMin {
+		b.SMin = r.SMin
+	}
+	if r.SMax > b.SMax {
+		b.SMax = r.SMax
+	}
+	if r.UMin < b.UMin {
+		b.UMin = r.UMin
+	}
+	if r.UMax > b.UMax {
+		b.UMax = r.UMax
+	}
+}
+
+// env is the per-verification mutable context.
+type env struct {
+	cfg    *Config
+	prog   *isa.Program
+	slotOf []int // decoded index -> encoded slot
+	idxOf  map[int]int
+
+	insnProcessed int
+	totalStates   int
+	peakStates    int
+	idCounter     uint32
+	refCounter    uint32
+
+	// visited states per insn index, for pruning.
+	visited map[int][]snapshot
+	// snapCounter issues snapshot ids for cycle detection.
+	snapCounter uint64
+	// insnRegType records the pointer type used at each memory insn to
+	// detect paths disagreeing about an access (kernel rejects those)
+	// and to drive the probe-mem conversion.
+	insnRegType map[int]RegType
+
+	rangeChecks map[int]RangeCheck
+	r0Bounds    ReturnBounds
+	// aluScalarPath marks ALU insns some path executed with two scalar
+	// operands, which disables that insn's alu_limit assertion.
+	aluScalarPath map[int]bool
+	probeMem      map[int]bool
+	usedMaps      []*maps.Map
+	usedMapSet    map[*maps.Map]bool
+
+	log strings.Builder
+}
+
+func (e *env) cov(loc string) {
+	if e.cfg.Cov != nil {
+		e.cfg.Cov.HitLoc(loc)
+	}
+}
+
+func (e *env) logf(format string, args ...interface{}) {
+	if e.cfg.LogLevel > 0 {
+		fmt.Fprintf(&e.log, format, args...)
+	}
+}
+
+func (e *env) newID() uint32 { e.idCounter++; return e.idCounter }
+
+func (e *env) reject(insn int, errno int, format string, args ...interface{}) error {
+	msg := fmt.Sprintf(format, args...)
+	e.cov("reject:" + firstWord(msg))
+	return &Error{Insn: insn, Msg: msg, Errno: errno, Log: e.log.String()}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// stateLine renders the live registers of the current frame in
+// verifier-log style ("R0=scalar(...) R1=ctx+0 R10=fp0").
+func stateLine(st *State) string {
+	var sb strings.Builder
+	f := st.Cur()
+	for r := 0; r < isa.MaxReg; r++ {
+		reg := &f.Regs[r]
+		if reg.Type == NotInit {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "R%d=%s", r, reg.String())
+	}
+	return sb.String()
+}
+
+// jumpTarget converts a decoded insn index plus a slot-relative offset to
+// the target decoded index, or -1 if invalid.
+func (e *env) jumpTarget(i int, off int32) int {
+	tgt := e.slotOf[i] + widthOf(e.prog.Insns[i]) + int(off)
+	idx, ok := e.idxOf[tgt]
+	if !ok {
+		return -1
+	}
+	return idx
+}
+
+func widthOf(ins isa.Instruction) int {
+	if ins.IsWide() {
+		return 2
+	}
+	return 1
+}
+
+// Verify checks prog under cfg. On success it returns the fixed-up
+// program plus sanitizer metadata; on rejection it returns a *Error.
+func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
+	if cfg.MaxInsnProcessed == 0 {
+		cfg.MaxInsnProcessed = 100000
+	}
+	if cfg.MaxStatesPerInsn == 0 {
+		cfg.MaxStatesPerInsn = 16
+	}
+	e := &env{
+		cfg:           cfg,
+		prog:          prog,
+		visited:       make(map[int][]snapshot),
+		insnRegType:   make(map[int]RegType),
+		rangeChecks:   make(map[int]RangeCheck),
+		aluScalarPath: make(map[int]bool),
+		probeMem:      make(map[int]bool),
+		usedMapSet:    make(map[*maps.Map]bool),
+		idxOf:         make(map[int]int),
+	}
+	for i := range prog.Insns {
+		s := prog.SlotOf(i)
+		e.slotOf = append(e.slotOf, s)
+		e.idxOf[s] = i
+	}
+
+	// Structural checks first (the kernel's resolve_pseudo_ldimm64 /
+	// check_cfg stage).
+	if err := prog.Validate(isa.MaxInsns); err != nil {
+		e.cov("reject:structural")
+		return nil, &Error{Insn: 0, Msg: err.Error(), Errno: EINVAL}
+	}
+	if LayoutFor(prog.Type) == nil && prog.Type != isa.ProgTypeUnspec {
+		return nil, e.reject(0, EINVAL, "unsupported program type %s", prog.Type)
+	}
+
+	worklist := []*State{newInitialState()}
+	for len(worklist) > 0 {
+		if len(worklist) > e.peakStates {
+			e.peakStates = len(worklist)
+		}
+		st := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		e.totalStates++
+		next, err := e.runPath(st)
+		if err != nil {
+			return nil, err
+		}
+		worklist = append(worklist, next...)
+	}
+
+	fixed, err := e.fixup()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Prog:          fixed,
+		InsnProcessed: e.insnProcessed,
+		PeakStates:    e.peakStates,
+		TotalStates:   e.totalStates,
+		ProbeMem:      e.probeMem,
+		UsedMaps:      e.usedMaps,
+		R0Bounds:      e.r0Bounds,
+		Log:           e.log.String(),
+	}
+	for idx, rc := range e.rangeChecks {
+		_ = idx
+		res.RangeChecks = append(res.RangeChecks, rc)
+	}
+	// Deterministic order for the sanitizer.
+	for i := 1; i < len(res.RangeChecks); i++ {
+		for j := i; j > 0 && res.RangeChecks[j-1].InsnIdx > res.RangeChecks[j].InsnIdx; j-- {
+			res.RangeChecks[j-1], res.RangeChecks[j] = res.RangeChecks[j], res.RangeChecks[j-1]
+		}
+	}
+	return res, nil
+}
+
+// runPath simulates instructions from st until the path ends (exit from
+// the main frame) or branches; branch siblings are returned for the
+// worklist.
+func (e *env) runPath(st *State) ([]*State, error) {
+	for {
+		i := st.Insn
+		if i < 0 || i >= len(e.prog.Insns) {
+			return nil, e.reject(i, EINVAL, "jump out of range or fall-through past last insn")
+		}
+		e.insnProcessed++
+		if e.insnProcessed > e.cfg.MaxInsnProcessed {
+			return nil, e.reject(i, E2BIG, "BPF program is too large: processed %d insn", e.insnProcessed)
+		}
+		ins := e.prog.Insns[i]
+		if e.cfg.LogLevel > 0 {
+			e.logf("%d: %s\n", i, ins.String())
+			if e.cfg.LogLevel > 1 {
+				e.logf(";  %s\n", stateLine(st))
+			}
+		}
+
+		switch ins.Class() {
+		case isa.ClassALU, isa.ClassALU64:
+			if err := e.checkALU(st, i, ins); err != nil {
+				return nil, err
+			}
+			st.Insn = i + 1
+
+		case isa.ClassLD:
+			if err := e.checkLDImm(st, i, ins); err != nil {
+				return nil, err
+			}
+			st.Insn = i + 1
+
+		case isa.ClassLDX:
+			if err := e.checkMemAccess(st, i, ins, false); err != nil {
+				return nil, err
+			}
+			st.Insn = i + 1
+
+		case isa.ClassST, isa.ClassSTX:
+			if err := e.checkMemAccess(st, i, ins, true); err != nil {
+				return nil, err
+			}
+			st.Insn = i + 1
+
+		case isa.ClassJMP, isa.ClassJMP32:
+			done, siblings, err := e.checkJmp(st, i, ins)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return siblings, nil
+			}
+			if len(siblings) > 0 {
+				return append(siblings, st), nil
+			}
+		}
+	}
+}
+
+// snapshot is one recorded exploration state used for pruning and cycle
+// detection.
+type snapshot struct {
+	id    uint64
+	state *State
+}
+
+// errInfiniteLoop distinguishes a cycle hit from an ordinary prune.
+var errInfiniteLoop = errors.New("infinite loop")
+
+// pruneOrRecord consults the visited states at insn idx. It returns
+// (true, nil) when the state is subsumed by a previously explored one
+// (prune), (false, error) when the subsuming snapshot is an ancestor of
+// this very path — i.e. the program looped back without making progress,
+// the kernel's "infinite loop detected" — and otherwise records a snapshot
+// and returns (false, nil).
+func (e *env) pruneOrRecord(idx int, st *State) (bool, error) {
+	for _, old := range e.visited[idx] {
+		if stateSubsumes(old.state, st) {
+			for _, anc := range st.Ancestry {
+				if anc == old.id {
+					e.cov("prune:loop")
+					return false, e.reject(idx, EINVAL, "infinite loop detected at insn %d", idx)
+				}
+			}
+			e.cov("prune:hit")
+			return true, nil
+		}
+	}
+	if len(e.visited[idx]) < e.cfg.MaxStatesPerInsn {
+		e.snapCounter++
+		snap := st.Clone()
+		snap.Insn = idx
+		e.visited[idx] = append(e.visited[idx], snapshot{id: e.snapCounter, state: snap})
+		st.Ancestry = append(st.Ancestry, e.snapCounter)
+	}
+	return false, nil
+}
+
+// recordInsnType notes the pointer type an access instruction was checked
+// with; paths must agree, as in the kernel.
+func (e *env) recordInsnType(i int, t RegType) error {
+	if prev, ok := e.insnRegType[i]; ok && prev != t {
+		return e.reject(i, EINVAL, "same insn cannot be used with different pointers (%s vs %s)", prev, t)
+	}
+	e.insnRegType[i] = t
+	return nil
+}
+
+// checkRegRead validates that reg is readable (initialized).
+func (e *env) checkRegRead(st *State, i int, r uint8) error {
+	if r >= isa.MaxReg {
+		return e.reject(i, EINVAL, "R%d is invalid", r)
+	}
+	if st.Reg(r).Type == NotInit {
+		e.cov("read_uninit")
+		return e.reject(i, EACCES, "R%d !read_ok", r)
+	}
+	return nil
+}
+
+// checkRegWrite validates that reg is writable (not the frame pointer).
+func (e *env) checkRegWrite(st *State, i int, r uint8) error {
+	if r >= isa.MaxReg {
+		return e.reject(i, EINVAL, "R%d is invalid", r)
+	}
+	if r == isa.R10 {
+		e.cov("write_fp")
+		return e.reject(i, EACCES, "frame pointer is read only")
+	}
+	return nil
+}
+
+// checkLDImm handles the LD class: the two-slot imm64 load and its pseudo
+// variants, and rejects the legacy packet forms.
+func (e *env) checkLDImm(st *State, i int, ins isa.Instruction) error {
+	switch isa.Mode(ins.Opcode) {
+	case isa.ModeIMM:
+	case isa.ModeABS, isa.ModeIND:
+		return e.reject(i, EINVAL, "legacy packet access is not supported")
+	default:
+		return e.reject(i, EINVAL, "invalid ld mode")
+	}
+	if err := e.checkRegWrite(st, i, ins.Dst); err != nil {
+		return err
+	}
+	dst := st.Reg(ins.Dst)
+	switch ins.Src {
+	case 0:
+		e.cov("ld_imm64:const")
+		*dst = constScalar(ins.Imm64)
+	case isa.PseudoMapFD:
+		e.cov("ld_imm64:map_fd")
+		m := e.mapByFD(int32(ins.Imm64))
+		if m == nil {
+			return e.reject(i, EINVAL, "fd %d is not pointing to valid bpf_map", int32(ins.Imm64))
+		}
+		*dst = RegState{Type: ConstPtrToMap, Map: m}
+		dst.zeroVar()
+		e.noteMap(m)
+	case isa.PseudoMapValue:
+		e.cov("ld_imm64:map_value")
+		m := e.mapByFD(int32(uint32(ins.Imm64)))
+		if m == nil {
+			return e.reject(i, EINVAL, "fd %d is not pointing to valid bpf_map", int32(uint32(ins.Imm64)))
+		}
+		off := int32(ins.Imm64 >> 32)
+		if m.Type != maps.Array {
+			return e.reject(i, EINVAL, "direct value access on %s map is not allowed", m.Type)
+		}
+		if off < 0 || uint32(off) >= m.ValueSize {
+			return e.reject(i, EACCES, "direct value offset of %d is not allowed", off)
+		}
+		*dst = RegState{Type: PtrToMapValue, Map: m, Off: off}
+		dst.zeroVar()
+		e.noteMap(m)
+	case isa.PseudoBTFID:
+		e.cov("ld_imm64:btf_id")
+		id := btf.TypeID(int32(ins.Imm64))
+		if e.cfg.BTF == nil || e.cfg.BTF.Struct(id) == nil {
+			return e.reject(i, EINVAL, "ldimm64 unable to resolve btf id %d", id)
+		}
+		*dst = RegState{Type: PtrToBTFID, BTF: id}
+		dst.zeroVar()
+	case isa.PseudoFunc:
+		return e.reject(i, EINVAL, "ldimm64 func pseudo is not supported")
+	default:
+		return e.reject(i, EINVAL, "invalid bpf_ld_imm64 insn")
+	}
+	return nil
+}
+
+func (e *env) mapByFD(fd int32) *maps.Map {
+	if e.cfg.MapByFD == nil {
+		return nil
+	}
+	return e.cfg.MapByFD(fd)
+}
+
+func (e *env) noteMap(m *maps.Map) {
+	if !e.usedMapSet[m] {
+		e.usedMapSet[m] = true
+		e.usedMaps = append(e.usedMaps, m)
+	}
+}
+
+// errIsVerifier reports whether err is a verifier rejection (vs an
+// internal failure).
+func errIsVerifier(err error) bool {
+	var ve *Error
+	return errors.As(err, &ve)
+}

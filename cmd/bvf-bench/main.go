@@ -8,6 +8,9 @@
 //	bvf-bench -exp acceptance [-budget N]
 //	bvf-bench -exp overhead   [-corpus N] [-repeats N]
 //	bvf-bench -exp all
+//
+// Every campaign-driven experiment accepts -workers N to shard each
+// campaign's iteration budget across N parallel fuzzing instances.
 package main
 
 import (
@@ -25,8 +28,10 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "campaign seeds for table2")
 		repeats = flag.Int("repeats", 3, "repetitions for fig6/overhead")
 		corpus  = flag.Int("corpus", 708, "self-test corpus size for overhead")
+		workers = flag.Int("workers", 1, "parallel shards per campaign (1 = the paper's single-instance runs)")
 	)
 	flag.Parse()
+	experiments.SetCampaignWorkers(*workers)
 
 	pick := func(def int) int {
 		if *budget > 0 {

@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	bvf [-version bpf-next|v6.1|v5.15] [-iters N] [-seed N]
+//	bvf [-version bpf-next|v6.1|v5.15] [-iters N] [-seed N] [-workers N]
 //	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
+//
+// The campaign is sharded across -workers parallel fuzzing instances
+// (default: all CPUs), each with its own simulated kernel, RNG and
+// corpus; a coordinator merges coverage and exchanges coverage-novel
+// programs between shards. Progress is reported on stderr every few
+// seconds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -24,6 +32,7 @@ func main() {
 		versionFlag = flag.String("version", "bpf-next", "kernel version: v5.15, v6.1 or bpf-next")
 		iters       = flag.Int("iters", 100000, "fuzzing iterations")
 		seed        = flag.Int64("seed", 1, "campaign seed")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel campaign shards")
 		tool        = flag.String("tool", "bvf", "generator: bvf, syzkaller, buzzer, buzzer-random")
 		noSan       = flag.Bool("nosanitize", false, "disable the BVF sanitation patches")
 		verbose     = flag.Bool("v", false, "print reproducer programs for each bug")
@@ -60,19 +69,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d)\n",
-		version, src.Name(), *iters, sanitize, *seed)
-	c := core.NewCampaign(core.CampaignConfig{
-		Source: src, Version: version, Sanitize: sanitize,
-		Seed: *seed, MutateBias: mutate,
+	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d, workers=%d)\n",
+		version, src.Name(), *iters, sanitize, *seed, *workers)
+	start := time.Now()
+	c := core.NewParallelCampaign(core.ParallelConfig{
+		CampaignConfig: core.CampaignConfig{
+			Source: src, Version: version, Sanitize: sanitize,
+			Seed: *seed, MutateBias: mutate,
+		},
+		Workers:  *workers,
+		Progress: os.Stderr,
 	})
 	st, err := c.Run(*iters)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bvf: %v\n", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
 
-	fmt.Printf("\niterations:       %d\n", st.Iterations)
+	fmt.Printf("\nelapsed:          %s (%.0f iters/sec)\n",
+		elapsed.Round(time.Millisecond), float64(st.Iterations)/elapsed.Seconds())
+	fmt.Printf("iterations:       %d\n", st.Iterations)
 	fmt.Printf("accepted:         %d (%.1f%%)\n", st.Accepted, 100*st.AcceptanceRate())
 	fmt.Printf("verifier coverage:%d branches\n", st.Coverage.Count())
 	fmt.Printf("corpus:           %d programs\n", st.CorpusSize)

@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/bugs"
-	"repro/internal/coverage"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/maps"
@@ -47,84 +45,6 @@ func BVFVariant(name string, cfg GenConfig) ProgramSource {
 	return &bvfSource{name: name, cfg: cfg}
 }
 
-// BugRecord describes one discovered bug.
-type BugRecord struct {
-	ID        bugs.ID
-	Kind      string
-	Indicator kernel.Indicator
-	FoundAt   int // iteration index
-	Err       string
-	Program   *isa.Program
-	// Minimized is the shrunken stable reproducer (nil when the bug was
-	// not triggered by a program, e.g. map-dump syscalls).
-	Minimized *isa.Program
-}
-
-// CurvePoint samples the coverage growth curve.
-type CurvePoint struct {
-	Iteration int
-	Branches  int
-}
-
-// Stats aggregates one campaign's results — everything the §6
-// experiments report.
-type Stats struct {
-	Tool       string
-	Version    kernel.Version
-	Iterations int
-	Accepted   int
-	// ErrnoHist histograms verifier rejections by errno (§6.3).
-	ErrnoHist map[int]int
-	// RejectReasons histograms the first word of rejection messages.
-	RejectReasons map[string]int
-	// Coverage is the accumulated verifier branch coverage.
-	Coverage *coverage.Map
-	// Curve samples coverage over iterations (Figure 6).
-	Curve []CurvePoint
-	// Bugs maps each attributed seeded bug to its first discovery.
-	Bugs map[bugs.ID]*BugRecord
-	// OtherAnomalies counts unattributed anomalies by kind.
-	OtherAnomalies map[string]int
-	// UnattributedSamples keeps a few unattributed anomalies with their
-	// programs for manual triage (§6.5's "Bug Triage" step).
-	UnattributedSamples []BugRecord
-	// CorpusSize is the final corpus size (coverage-novel programs).
-	CorpusSize int
-	// InsnClassMix counts generated instructions by class, for the
-	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
-	InsnClassMix map[string]int
-}
-
-// AcceptanceRate returns the fraction of generated programs that passed
-// the verifier.
-func (s *Stats) AcceptanceRate() float64 {
-	if s.Iterations == 0 {
-		return 0
-	}
-	return float64(s.Accepted) / float64(s.Iterations)
-}
-
-// VerifierBugsFound counts discovered verifier correctness bugs.
-func (s *Stats) VerifierBugsFound() int {
-	n := 0
-	for id := range s.Bugs {
-		if id.IsVerifierCorrectness() || id == bugs.CVE2022_23222 {
-			n++
-		}
-	}
-	return n
-}
-
-// BugIDs returns the discovered bug ids in ascending order.
-func (s *Stats) BugIDs() []bugs.ID {
-	out := make([]bugs.ID, 0, len(s.Bugs))
-	for id := range s.Bugs {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // CampaignConfig parameterizes one fuzzing campaign.
 type CampaignConfig struct {
 	Source  ProgramSource
@@ -150,6 +70,10 @@ type CampaignConfig struct {
 	NoMinimize bool
 	// RunsPerProgram executes each accepted program this many times.
 	RunsPerProgram int
+	// OnIteration, when non-nil, is invoked after every fuzzing
+	// iteration. ParallelCampaign uses it to feed the live progress
+	// reporter; the callback must be cheap and concurrency-safe.
+	OnIteration func()
 }
 
 // Campaign drives one tool against one kernel version.
@@ -158,9 +82,19 @@ type Campaign struct {
 	r      *rand.Rand
 	stats  *Stats
 	corpus *Corpus
+	// novel accumulates coverage-novel corpus additions since the last
+	// DrainNovel call, for cross-shard exchange in ParallelCampaign.
+	novel []NovelProgram
 
 	k    *kernel.Kernel
 	pool []MapHandle
+}
+
+// NovelProgram is one coverage-novel corpus entry, as exchanged between
+// the shards of a ParallelCampaign.
+type NovelProgram struct {
+	Prog    *isa.Program
+	Novelty int // fresh coverage sites the program contributed locally
 }
 
 // NewCampaign builds a campaign.
@@ -181,16 +115,7 @@ func NewCampaign(cfg CampaignConfig) *Campaign {
 		cfg:    cfg,
 		r:      rand.New(rand.NewSource(cfg.Seed)),
 		corpus: NewCorpus(256),
-		stats: &Stats{
-			Tool:           cfg.Source.Name(),
-			Version:        cfg.Version,
-			ErrnoHist:      make(map[int]int),
-			RejectReasons:  make(map[string]int),
-			Coverage:       coverage.NewMap(),
-			Bugs:           make(map[bugs.ID]*BugRecord),
-			OtherAnomalies: make(map[string]int),
-			InsnClassMix:   make(map[string]int),
-		},
+		stats:  NewStats(cfg.Source.Name(), cfg.Version),
 	}
 }
 
@@ -251,26 +176,60 @@ func (c *Campaign) recycle() error {
 // Stats returns the campaign's (live) statistics.
 func (c *Campaign) Stats() *Stats { return c.stats }
 
-// Run executes iters fuzzing iterations and returns the statistics.
+// SeedCorpus injects a program into the campaign's corpus with the given
+// novelty weight, without recording it as locally novel. ParallelCampaign
+// uses it to share coverage-novel programs between shards (a shared entry
+// must not be re-broadcast by the receiver, or it would ping-pong).
+func (c *Campaign) SeedCorpus(p *isa.Program, novelty int) {
+	if p == nil {
+		return
+	}
+	c.corpus.Add(p, novelty)
+}
+
+// DrainNovel returns the coverage-novel corpus entries added since the
+// previous call and clears the pending list.
+func (c *Campaign) DrainNovel() []NovelProgram {
+	out := c.novel
+	c.novel = nil
+	return out
+}
+
+// addNovel stores a coverage-novel program in the corpus and queues it for
+// cross-shard exchange.
+func (c *Campaign) addNovel(p *isa.Program, novelty int) {
+	c.corpus.Add(p, novelty)
+	c.novel = append(c.novel, NovelProgram{Prog: p.Clone(), Novelty: novelty})
+}
+
+// Run executes iters fuzzing iterations and returns the statistics. Run
+// may be called repeatedly on the same campaign; iteration accounting
+// (BugRecord.FoundAt, CurvePoint.Iteration, the recycle cadence) continues
+// from where the previous call stopped rather than restarting at zero.
 func (c *Campaign) Run(iters int) (*Stats, error) {
 	sampleEvery := iters / c.cfg.CurveSamples
 	if sampleEvery == 0 {
 		sampleEvery = 1
 	}
+	base := c.stats.Iterations
 	for i := 0; i < iters; i++ {
-		if c.k == nil || i%c.cfg.RecycleEvery == 0 {
+		gi := base + i
+		if c.k == nil || gi%c.cfg.RecycleEvery == 0 {
 			if err := c.recycle(); err != nil {
 				return nil, err
 			}
 		}
-		c.iteration(i)
+		c.iteration(gi)
 		if i%sampleEvery == 0 || i == iters-1 {
 			c.stats.Curve = append(c.stats.Curve, CurvePoint{
-				Iteration: i + 1, Branches: c.stats.Coverage.Count(),
+				Iteration: gi + 1, Branches: c.stats.Coverage.Count(),
 			})
 		}
+		if c.cfg.OnIteration != nil {
+			c.cfg.OnIteration()
+		}
 	}
-	c.stats.Iterations += iters
+	c.stats.Iterations = base + iters
 	c.stats.CorpusSize = c.corpus.Len()
 	return c.stats, nil
 }
@@ -296,13 +255,13 @@ func (c *Campaign) iteration(i int) {
 			c.recordAnomaly(i, a, prog)
 		}
 		if newCov > 0 {
-			c.corpus.Add(prog, newCov)
+			c.addNovel(prog, newCov)
 		}
 		return
 	}
 	c.stats.Accepted++
 	if newCov > 0 {
-		c.corpus.Add(prog, newCov)
+		c.addNovel(prog, newCov)
 	}
 
 	for run := 0; run < c.cfg.RunsPerProgram; run++ {
@@ -361,7 +320,7 @@ func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
 	id := c.k.Triage(a, prog)
 	if id == 0 {
 		c.stats.OtherAnomalies[a.Kind]++
-		if len(c.stats.UnattributedSamples) < 8 {
+		if len(c.stats.UnattributedSamples) < maxUnattributedSamples {
 			c.stats.UnattributedSamples = append(c.stats.UnattributedSamples, BugRecord{
 				Kind: a.Kind, Indicator: a.Indicator, FoundAt: i,
 				Err: a.Err.Error(), Program: prog,

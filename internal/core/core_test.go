@@ -78,6 +78,9 @@ func TestGeneratedProgramsHaveStructure(t *testing.T) {
 // TestAcceptanceRateInBand reproduces the §6.3 headline: roughly half of
 // BVF's programs pass the verifier.
 func TestAcceptanceRateInBand(t *testing.T) {
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by the parallel-campaign tests under -race")
+	}
 	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 23})
 	st, err := c.Run(5000)
 	if err != nil {
@@ -96,6 +99,9 @@ func TestAcceptanceRateInBand(t *testing.T) {
 // scale: a sanitized BVF campaign on bpf-next discovers every Table 2
 // bug.
 func TestCampaignFindsAllSeededBugs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by the parallel-campaign tests under -race")
+	}
 	if testing.Short() {
 		t.Skip("long campaign")
 	}
@@ -120,6 +126,9 @@ func TestCampaignFindsAllSeededBugs(t *testing.T) {
 // invalid accesses are silent), while indicator-2 bugs are still caught
 // by the kernel's own mechanisms.
 func TestSanitationRequiredForIndicator1(t *testing.T) {
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by the parallel-campaign tests under -race")
+	}
 	if testing.Short() {
 		t.Skip("long campaign")
 	}
@@ -149,6 +158,9 @@ func TestSanitationRequiredForIndicator1(t *testing.T) {
 }
 
 func TestVersionGatesBugDiscovery(t *testing.T) {
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by the parallel-campaign tests under -race")
+	}
 	// On a fully fixed kernel no bugs can be found and no anomalies
 	// fire — the oracle has no false positives.
 	cc := NewCampaign(CampaignConfig{
@@ -220,6 +232,101 @@ func TestCorpusWeightedPick(t *testing.T) {
 	}
 }
 
+// TestMutateImmShiftBounds is the regression test for the mutator-bounds
+// bug: the maximal shift amounts (63 for 64-bit, 31 for 32-bit) must be
+// reachable, and shifts must never leave the valid range.
+func TestMutateImmShiftBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	check := func(mk func() *isa.Program, max int32) {
+		seen := map[int32]bool{}
+		for i := 0; i < 4000; i++ {
+			p := mk()
+			if !mutateImm(r, p) {
+				t.Fatal("mutateImm found no candidate")
+			}
+			imm := p.Insns[0].Imm
+			if imm < 0 || imm > max {
+				t.Fatalf("shift imm %d outside [0,%d]", imm, max)
+			}
+			seen[imm] = true
+		}
+		if !seen[max] {
+			t.Errorf("maximal shift %d never generated", max)
+		}
+		if !seen[0] {
+			t.Errorf("zero shift never generated")
+		}
+	}
+	check(func() *isa.Program {
+		return &isa.Program{Insns: []isa.Instruction{
+			isa.Alu64Imm(isa.ALULsh, isa.R1, 4), isa.Exit(),
+		}}
+	}, 63)
+	check(func() *isa.Program {
+		return &isa.Program{Insns: []isa.Instruction{
+			isa.Alu32Imm(isa.ALURsh, isa.R1, 4), isa.Exit(),
+		}}
+	}, 31)
+}
+
+// TestMutateImmSignBitReachable is the regression test for the bit-flip
+// arm: flipping the sign bit of an immediate must be possible.
+func TestMutateImmSignBitReachable(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	sawSignFlip := false
+	for i := 0; i < 20000 && !sawSignFlip; i++ {
+		p := &isa.Program{Insns: []isa.Instruction{
+			isa.Alu64Imm(isa.ALUAdd, isa.R1, 0), isa.Exit(),
+		}}
+		if !mutateImm(r, p) {
+			t.Fatal("mutateImm found no candidate")
+		}
+		// From imm 0, the single-bit-flip arm producing the sign bit
+		// yields exactly math.MinInt32.
+		if p.Insns[0].Imm == -1<<31 {
+			sawSignFlip = true
+		}
+	}
+	if !sawSignFlip {
+		t.Error("sign bit of the immediate was never flipped")
+	}
+}
+
+// TestCorpusEvictionCompacts is the regression test for the corpus
+// eviction leak: eviction must compact in place (bounded backing array,
+// evicted slots nilled for GC) while preserving FIFO order and weights.
+func TestCorpusEvictionCompacts(t *testing.T) {
+	c := NewCorpus(4)
+	mk := func(imm int32) *isa.Program {
+		return &isa.Program{Insns: []isa.Instruction{isa.Mov64Imm(isa.R0, imm), isa.Exit()}}
+	}
+	for i := int32(0); i < 100; i++ {
+		c.Add(mk(i), int(i)+1)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4", c.Len())
+	}
+	if cap(c.progs) > 8 {
+		t.Errorf("backing array grew to cap %d despite in-place compaction", cap(c.progs))
+	}
+	// FIFO order: the survivors are the last four added.
+	for i, want := range []int32{96, 97, 98, 99} {
+		if got := c.progs[i].Insns[0].Imm; got != want {
+			t.Errorf("progs[%d] = %d, want %d", i, got, want)
+		}
+	}
+	wantTotal := 97 + 98 + 99 + 100
+	if c.total != wantTotal {
+		t.Errorf("total weight = %d, want %d", c.total, wantTotal)
+	}
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 100; i++ {
+		if c.Pick(r) == nil {
+			t.Fatal("Pick returned nil on a populated corpus")
+		}
+	}
+}
+
 func TestCampaignDeterminism(t *testing.T) {
 	run := func() *Stats {
 		c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.V61, Sanitize: true, Seed: 42})
@@ -279,6 +386,9 @@ func BenchmarkCampaignIteration(b *testing.B) {
 // program carries a minimized reproducer that (a) still triggers the same
 // bug on a pristine kernel and (b) is no larger than the original.
 func TestMinimizedReproducers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by the parallel-campaign tests under -race")
+	}
 	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 1})
 	st, err := c.Run(30000)
 	if err != nil {

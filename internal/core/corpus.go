@@ -29,15 +29,23 @@ func NewCorpus(max int) *Corpus {
 // Len returns the number of stored programs.
 func (c *Corpus) Len() int { return len(c.progs) }
 
-// Add stores a program with the given novelty weight.
+// Add stores a program with the given novelty weight. When full, the
+// oldest entry is evicted by compacting the slice in place — re-slicing
+// (progs = progs[1:]) would keep every evicted program reachable through
+// the shared backing array for the campaign's lifetime, a slow leak over
+// a multi-day run.
 func (c *Corpus) Add(p *isa.Program, novelty int) {
 	if novelty < 1 {
 		novelty = 1
 	}
 	if len(c.progs) >= c.max {
 		c.total -= c.weights[0]
-		c.progs = c.progs[1:]
-		c.weights = c.weights[1:]
+		n := len(c.progs)
+		copy(c.progs, c.progs[1:])
+		c.progs[n-1] = nil // release the evicted program for GC
+		c.progs = c.progs[:n-1]
+		copy(c.weights, c.weights[1:])
+		c.weights = c.weights[:n-1]
 	}
 	c.progs = append(c.progs, p.Clone())
 	c.weights = append(c.weights, novelty)

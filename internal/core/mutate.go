@@ -50,11 +50,14 @@ func mutateImm(r *rand.Rand, p *isa.Program) bool {
 	case isa.ALUDiv, isa.ALUMod:
 		ins.Imm = int32(1 + r.Intn(1<<16)) // keep nonzero
 	case isa.ALULsh, isa.ALURsh, isa.ALUArsh:
+		// The maximal shift (63 / 31) must be reachable: boundary
+		// immediates are exactly where verifier range-analysis bugs
+		// live, so draw from the inclusive range [0, width].
 		width := int32(63)
 		if ins.Class() == isa.ClassALU {
 			width = 31
 		}
-		ins.Imm = int32(r.Intn(int(width)))
+		ins.Imm = int32(r.Intn(int(width) + 1))
 	default:
 		switch r.Intn(4) {
 		case 0:
@@ -64,7 +67,9 @@ func mutateImm(r *rand.Rand, p *isa.Program) bool {
 		case 2:
 			ins.Imm = int32(r.Uint32())
 		default:
-			ins.Imm ^= 1 << uint(r.Intn(31))
+			// All 32 bits are flippable, including the sign bit —
+			// sign-boundary immediates are prime verifier-bug bait.
+			ins.Imm ^= 1 << uint(r.Intn(32))
 		}
 	}
 	return true

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+)
+
+// ParallelConfig parameterizes a sharded campaign. The embedded
+// CampaignConfig describes each shard; shard i runs with Seed+i so the
+// shards explore disjoint trajectories deterministically.
+type ParallelConfig struct {
+	CampaignConfig
+	// Workers is the number of shards; <=0 selects runtime.NumCPU().
+	Workers int
+	// SyncEvery is the number of shard-local iterations between
+	// coordinator rounds (coverage merge + corpus exchange). Default
+	// 1024. Syncs are barriers: determinism does not depend on the
+	// goroutine schedule because shards only interact at round edges.
+	SyncEvery int
+	// ExchangeTop caps how many coverage-novel programs one shard
+	// broadcasts to the others per sync round. Default 8.
+	ExchangeTop int
+	// Progress, when non-nil, receives a periodic one-line progress
+	// report (iters/sec, acceptance rate, coverage, bugs found).
+	Progress io.Writer
+	// ReportEvery is the progress-report interval. Default 5s.
+	ReportEvery time.Duration
+}
+
+// ParallelCampaign runs N worker shards, each an ordinary Campaign with
+// its own kernel, RNG (seed+shardIndex), corpus, and coverage map. A
+// coordinator periodically merges shard coverage into a global map —
+// coverage.Map.Merge's fresh-site return is the cross-shard feedback
+// signal — and redistributes coverage-novel corpus entries between
+// shards, the scheme BVF's 40-core deployment and BRF's parallel
+// fuzzing instances both use.
+//
+// Determinism: with a fixed Seed, Workers, SyncEvery and total iteration
+// count, a run is fully reproducible. Shards never share mutable state
+// while running; all cross-shard traffic happens single-threaded at the
+// round barrier, in shard-index order.
+type ParallelCampaign struct {
+	cfg    ParallelConfig
+	shards []*Campaign
+	global *coverage.Map
+	stats  *Stats
+
+	// Live counters for the progress reporter (the only state touched
+	// concurrently by shards mid-round).
+	liveIters    atomic.Int64
+	liveAccepted atomic.Int64
+	liveCoverage atomic.Int64
+	liveBugs     atomic.Int64
+}
+
+// NewParallelCampaign builds a sharded campaign.
+func NewParallelCampaign(cfg ParallelConfig) *ParallelCampaign {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 1024
+	}
+	if cfg.ExchangeTop <= 0 {
+		cfg.ExchangeTop = 8
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 5 * time.Second
+	}
+	p := &ParallelCampaign{
+		cfg:    cfg,
+		global: coverage.NewMap(),
+		stats:  NewStats(cfg.Source.Name(), cfg.Version),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		sc := cfg.CampaignConfig
+		sc.Seed = cfg.Seed + int64(i)
+		sc.OnIteration = func() { p.liveIters.Add(1) }
+		// Shards skip reproducer minimization: every shard rediscovers
+		// roughly the same bug set, and minimization dominates the
+		// per-shard fixed cost (~80% measured). mergeStats minimizes
+		// once per deduplicated bug instead — Minimize is deterministic
+		// and RNG-free, so the result is identical.
+		sc.NoMinimize = true
+		p.shards = append(p.shards, NewCampaign(sc))
+	}
+	return p
+}
+
+// Workers returns the shard count.
+func (p *ParallelCampaign) Workers() int { return len(p.shards) }
+
+// Stats returns the merged statistics. Only valid after Run returns; the
+// per-shard statistics are folded in at the final barrier.
+func (p *ParallelCampaign) Stats() *Stats { return p.stats }
+
+// globalIteration maps a shard-local iteration index onto the global
+// axis: by local iteration i, the whole fleet has executed about
+// i*Workers iterations. The shard index breaks ties deterministically so
+// merged records from different shards never collide.
+func (p *ParallelCampaign) globalIteration(shard, local int) int {
+	return local*len(p.shards) + shard
+}
+
+// Run executes total fuzzing iterations divided evenly across the shards
+// and returns the merged statistics. Like Campaign.Run it may be called
+// repeatedly; accounting continues on the global iteration axis.
+func (p *ParallelCampaign) Run(total int) (*Stats, error) {
+	quota := make([]int, len(p.shards))
+	for i := range quota {
+		quota[i] = total / len(p.shards)
+		if i < total%len(p.shards) {
+			quota[i]++
+		}
+	}
+
+	stopReport := p.startReporter()
+	defer stopReport()
+
+	errs := make([]error, len(p.shards))
+	for remaining(quota) {
+		var wg sync.WaitGroup
+		for i := range p.shards {
+			n := quota[i]
+			if n > p.cfg.SyncEvery {
+				n = p.cfg.SyncEvery
+			}
+			if n == 0 || errs[i] != nil {
+				continue
+			}
+			quota[i] -= n
+			wg.Add(1)
+			go func(i, n int) {
+				defer wg.Done()
+				_, errs[i] = p.shards[i].Run(n)
+			}(i, n)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("parallel campaign: shard %d: %w", i, err)
+			}
+		}
+		p.sync()
+	}
+	p.mergeStats()
+	return p.stats, nil
+}
+
+// sync is the coordinator round, run single-threaded at the barrier: it
+// merges every shard's coverage into the global map and rebroadcasts the
+// globally-novel corpus entries to the other shards.
+func (p *ParallelCampaign) sync() {
+	type donation struct {
+		from    int
+		entries []NovelProgram
+	}
+	var donations []donation
+	for i, sh := range p.shards {
+		novel := sh.DrainNovel()
+		// The fresh-site count from merging this shard's coverage into
+		// the global map is the cross-shard feedback signal: a shard
+		// whose round contributed nothing globally new has nothing the
+		// other shards have not already seen.
+		fresh := p.global.Merge(sh.Stats().Coverage)
+		if fresh == 0 || len(novel) == 0 {
+			continue
+		}
+		if len(novel) > p.cfg.ExchangeTop {
+			// Keep the most recent entries: later additions subsume
+			// earlier coverage within the round.
+			novel = novel[len(novel)-p.cfg.ExchangeTop:]
+		}
+		donations = append(donations, donation{from: i, entries: novel})
+	}
+	for _, d := range donations {
+		for j, sh := range p.shards {
+			if j == d.from {
+				continue
+			}
+			for _, e := range d.entries {
+				sh.SeedCorpus(e.Prog, e.Novelty)
+			}
+		}
+	}
+	p.recordRound()
+}
+
+// recordRound appends a global coverage-curve point and refreshes the
+// reporter counters. Runs at the barrier only.
+func (p *ParallelCampaign) recordRound() {
+	iters, accepted, nbugs := 0, 0, map[bugs.ID]bool{}
+	for _, sh := range p.shards {
+		st := sh.Stats()
+		iters += st.Iterations
+		accepted += st.Accepted
+		for id := range st.Bugs {
+			nbugs[id] = true
+		}
+	}
+	p.stats.Curve = append(p.stats.Curve, CurvePoint{
+		Iteration: iters, Branches: p.global.Count(),
+	})
+	p.liveAccepted.Store(int64(accepted))
+	p.liveCoverage.Store(int64(p.global.Count()))
+	p.liveBugs.Store(int64(len(nbugs)))
+}
+
+// mergeStats folds the shard statistics into p.stats with all
+// iteration-indexed fields translated onto the global axis. The global
+// coverage map (already the union of every shard round) becomes the
+// merged Coverage; shard curves are dropped in favour of the exact
+// global curve recorded at round barriers.
+func (p *ParallelCampaign) mergeStats() {
+	merged := NewStats(p.cfg.Source.Name(), p.cfg.Version)
+	merged.Coverage = p.global
+	merged.Curve = p.stats.Curve
+	for i, sh := range p.shards {
+		st := sh.Stats()
+		t := *st // shallow copy: shard stats stay untouched for later rounds
+		t.Coverage = nil
+		t.Curve = nil
+		t.Bugs = make(map[bugs.ID]*BugRecord, len(st.Bugs))
+		for id, rec := range st.Bugs {
+			r := *rec
+			r.FoundAt = p.globalIteration(i, rec.FoundAt)
+			t.Bugs[id] = &r
+		}
+		t.UnattributedSamples = nil
+		for _, u := range st.UnattributedSamples {
+			u.FoundAt = p.globalIteration(i, u.FoundAt)
+			t.UnattributedSamples = append(t.UnattributedSamples, u)
+		}
+		merged.Merge(&t)
+	}
+	// Merge replayed the (empty) curve; restore the global one.
+	merged.Curve = p.stats.Curve
+	// Deferred minimization: shards ran with NoMinimize (see
+	// NewParallelCampaign), so minimize here, once per deduplicated bug.
+	if !p.cfg.NoMinimize {
+		for id, rec := range merged.Bugs {
+			if rec.Program == nil || rec.Minimized != nil {
+				continue
+			}
+			rep := NewReproducer(p.cfg.Version, p.cfg.OverrideBugs, p.cfg.Sanitize, id)
+			if rep.Check(rec.Program) {
+				rec.Minimized = Minimize(rep, rec.Program, 4)
+			}
+		}
+	}
+	p.stats = merged
+}
+
+// startReporter launches the periodic progress printer; the returned
+// function stops it. The reporter reads only atomic counters, so it is
+// race-free against running shards.
+func (p *ParallelCampaign) startReporter() func() {
+	if p.cfg.Progress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(p.cfg.ReportEvery)
+		defer tick.Stop()
+		start := time.Now()
+		last, lastAt := int64(0), start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				iters := p.liveIters.Load()
+				rate := float64(iters-last) / now.Sub(lastAt).Seconds()
+				last, lastAt = iters, now
+				accepted := p.liveAccepted.Load()
+				acc := 0.0
+				if iters > 0 {
+					acc = float64(accepted) / float64(iters)
+				}
+				fmt.Fprintf(p.cfg.Progress,
+					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d\n",
+					now.Sub(start).Round(time.Second), iters, rate, 100*acc,
+					p.liveCoverage.Load(), p.liveBugs.Load())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+func remaining(quota []int) bool {
+	for _, q := range quota {
+		if q > 0 {
+			return true
+		}
+	}
+	return false
+}

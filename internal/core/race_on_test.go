@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled lets very long deterministic campaign tests skip under the
+// race detector (~30x slower per iteration), where they add runtime but
+// no concurrency coverage. The parallel-campaign tests always run.
+const raceEnabled = true

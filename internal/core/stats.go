@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// BugRecord describes one discovered bug.
+type BugRecord struct {
+	ID        bugs.ID
+	Kind      string
+	Indicator kernel.Indicator
+	FoundAt   int // iteration index
+	Err       string
+	Program   *isa.Program
+	// Minimized is the shrunken stable reproducer (nil when the bug was
+	// not triggered by a program, e.g. map-dump syscalls).
+	Minimized *isa.Program
+}
+
+// CurvePoint samples the coverage growth curve.
+type CurvePoint struct {
+	Iteration int
+	Branches  int
+}
+
+// Stats aggregates one campaign's results — everything the §6
+// experiments report.
+type Stats struct {
+	Tool       string
+	Version    kernel.Version
+	Iterations int
+	Accepted   int
+	// ErrnoHist histograms verifier rejections by errno (§6.3).
+	ErrnoHist map[int]int
+	// RejectReasons histograms the first word of rejection messages.
+	RejectReasons map[string]int
+	// Coverage is the accumulated verifier branch coverage.
+	Coverage *coverage.Map
+	// Curve samples coverage over iterations (Figure 6).
+	Curve []CurvePoint
+	// Bugs maps each attributed seeded bug to its first discovery.
+	Bugs map[bugs.ID]*BugRecord
+	// OtherAnomalies counts unattributed anomalies by kind.
+	OtherAnomalies map[string]int
+	// UnattributedSamples keeps a few unattributed anomalies with their
+	// programs for manual triage (§6.5's "Bug Triage" step).
+	UnattributedSamples []BugRecord
+	// CorpusSize is the final corpus size (coverage-novel programs).
+	CorpusSize int
+	// InsnClassMix counts generated instructions by class, for the
+	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
+	InsnClassMix map[string]int
+}
+
+// maxUnattributedSamples caps the triage-sample buffer.
+const maxUnattributedSamples = 8
+
+// NewStats returns an empty, fully initialized Stats value.
+func NewStats(tool string, v kernel.Version) *Stats {
+	return &Stats{
+		Tool:           tool,
+		Version:        v,
+		ErrnoHist:      make(map[int]int),
+		RejectReasons:  make(map[string]int),
+		Coverage:       coverage.NewMap(),
+		Bugs:           make(map[bugs.ID]*BugRecord),
+		OtherAnomalies: make(map[string]int),
+		InsnClassMix:   make(map[string]int),
+	}
+}
+
+// AcceptanceRate returns the fraction of generated programs that passed
+// the verifier.
+func (s *Stats) AcceptanceRate() float64 {
+	if s.Iterations == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Iterations)
+}
+
+// VerifierBugsFound counts discovered verifier correctness bugs.
+func (s *Stats) VerifierBugsFound() int {
+	n := 0
+	for id := range s.Bugs {
+		if id.IsVerifierCorrectness() || id == bugs.CVE2022_23222 {
+			n++
+		}
+	}
+	return n
+}
+
+// BugIDs returns the discovered bug ids in ascending order.
+func (s *Stats) BugIDs() []bugs.ID {
+	out := make([]bugs.ID, 0, len(s.Bugs))
+	for id := range s.Bugs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds other into s: counters and histograms add, coverage maps
+// merge, bug records deduplicate keeping the earliest FoundAt, and curve
+// points combine on a shared iteration axis. Callers merging shard-local
+// statistics must first translate other's iteration-indexed fields
+// (BugRecord.FoundAt, CurvePoint.Iteration) onto the global axis —
+// ParallelCampaign does this with globalIteration. other is not modified.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	s.Iterations += other.Iterations
+	s.Accepted += other.Accepted
+	s.CorpusSize += other.CorpusSize
+	for k, v := range other.ErrnoHist {
+		s.ErrnoHist[k] += v
+	}
+	for k, v := range other.RejectReasons {
+		s.RejectReasons[k] += v
+	}
+	for k, v := range other.OtherAnomalies {
+		s.OtherAnomalies[k] += v
+	}
+	for k, v := range other.InsnClassMix {
+		s.InsnClassMix[k] += v
+	}
+	s.Coverage.Merge(other.Coverage)
+	for id, rec := range other.Bugs {
+		if cur, ok := s.Bugs[id]; !ok || rec.FoundAt < cur.FoundAt {
+			s.Bugs[id] = rec
+		}
+	}
+	for _, u := range other.UnattributedSamples {
+		if len(s.UnattributedSamples) >= maxUnattributedSamples {
+			break
+		}
+		s.UnattributedSamples = append(s.UnattributedSamples, u)
+	}
+	s.Curve = mergeCurves(s.Curve, other.Curve)
+}
+
+// mergeCurves combines two coverage curves sharing an iteration axis into
+// one strictly-increasing-iteration, non-decreasing-branches curve. Points
+// at the same iteration keep the larger branch count; a running maximum
+// restores monotonicity where one curve's early points interleave with the
+// other's later ones.
+func mergeCurves(a, b []CurvePoint) []CurvePoint {
+	if len(a) == 0 {
+		return append([]CurvePoint(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	all := make([]CurvePoint, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Iteration != all[j].Iteration {
+			return all[i].Iteration < all[j].Iteration
+		}
+		return all[i].Branches < all[j].Branches
+	})
+	out := all[:0]
+	best := 0
+	for _, pt := range all {
+		if pt.Branches > best {
+			best = pt.Branches
+		}
+		if n := len(out); n > 0 && out[n-1].Iteration == pt.Iteration {
+			out[n-1].Branches = best
+			continue
+		}
+		out = append(out, CurvePoint{Iteration: pt.Iteration, Branches: best})
+	}
+	return out
+}

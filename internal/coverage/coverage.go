@@ -82,16 +82,20 @@ func (m *Map) Hits(s Site) uint64 {
 // Merge adds every site of other into m and returns the number of sites
 // that were new to m. Fuzzing engines use the return value as the "new
 // coverage" feedback signal.
+//
+// Merge never holds both maps' locks at once: other is snapshotted under
+// its read lock first, then folded into m under m's write lock. Two
+// goroutines may therefore merge the same pair of maps in opposite
+// directions concurrently without deadlocking. A self-merge is a no-op.
 func (m *Map) Merge(other *Map) int {
-	if m == nil || other == nil {
+	if m == nil || other == nil || m == other {
 		return 0
 	}
-	other.mu.RLock()
-	defer other.mu.RUnlock()
+	snap := other.snapshotCounts()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fresh := 0
-	for s, n := range other.sites {
+	for s, n := range snap {
 		if _, ok := m.sites[s]; !ok {
 			fresh++
 		}
@@ -101,22 +105,35 @@ func (m *Map) Merge(other *Map) int {
 }
 
 // Diff returns the number of sites covered by other but not by m, without
-// modifying either map.
+// modifying either map. Like Merge, it never holds both locks at once.
 func (m *Map) Diff(other *Map) int {
-	if other == nil {
+	if m == nil || other == nil {
 		return 0
 	}
-	other.mu.RLock()
-	defer other.mu.RUnlock()
+	if m == other {
+		return 0
+	}
+	snap := other.snapshotCounts()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	fresh := 0
-	for s := range other.sites {
+	for s := range snap {
 		if _, ok := m.sites[s]; !ok {
 			fresh++
 		}
 	}
 	return fresh
+}
+
+// snapshotCounts copies the site->count map under the read lock.
+func (m *Map) snapshotCounts() map[Site]uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := make(map[Site]uint64, len(m.sites))
+	for s, n := range m.sites {
+		snap[s] = n
+	}
+	return snap
 }
 
 // Reset clears all recorded coverage.

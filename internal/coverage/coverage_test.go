@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestHitAndCount(t *testing.T) {
@@ -129,6 +130,72 @@ func TestConcurrentHits(t *testing.T) {
 	wg.Wait()
 	if m.Count() != 100 {
 		t.Errorf("Count = %d, want 100", m.Count())
+	}
+}
+
+// TestMergeConcurrentBidirectional is the regression test for the Merge
+// lock-ordering deadlock: one goroutine merging a->b while another merges
+// b->a used to acquire the two maps' locks in opposite orders and hang.
+// The fixed Merge snapshots `other` before locking the receiver, so this
+// must complete (the 30s guard turns a regression into a failure rather
+// than a hung test binary; `go test -race` additionally checks the
+// snapshot path for data races).
+func TestMergeConcurrentBidirectional(t *testing.T) {
+	a, b := NewMap(), NewMap()
+	for i := 0; i < 64; i++ {
+		a.HitLoc(fmt.Sprintf("a%d", i))
+		b.HitLoc(fmt.Sprintf("b%d", i))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					if g%2 == 0 {
+						a.Merge(b)
+						a.Diff(b)
+					} else {
+						b.Merge(a)
+						b.Diff(a)
+					}
+					// Writers interleave so reader starvation /
+					// writer-queuing interactions are exercised too.
+					a.HitLoc(fmt.Sprintf("w%d-%d", g, i))
+					b.HitLoc(fmt.Sprintf("v%d-%d", g, i))
+				}
+			}(g)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("bidirectional Merge deadlocked")
+	}
+	if a.Count() == 0 || b.Count() == 0 {
+		t.Error("maps lost coverage during concurrent merges")
+	}
+}
+
+// TestMergeSelfIsNoop: merging a map into itself must neither deadlock
+// nor report fresh sites nor inflate hit counts.
+func TestMergeSelfIsNoop(t *testing.T) {
+	m := NewMap()
+	s := SiteOf("self")
+	m.Hit(s)
+	m.Hit(s)
+	if fresh := m.Merge(m); fresh != 0 {
+		t.Errorf("self-merge fresh = %d, want 0", fresh)
+	}
+	if m.Hits(s) != 2 {
+		t.Errorf("self-merge changed hit count to %d", m.Hits(s))
+	}
+	if d := m.Diff(m); d != 0 {
+		t.Errorf("self-diff = %d, want 0", d)
 	}
 }
 

@@ -50,14 +50,39 @@ func Tools() []Tool {
 	}
 }
 
+// campaignWorkers is the number of shards each experiment campaign runs
+// with. The default of 1 keeps the classic single-threaded campaigns the
+// reproduction was validated against; cmd/bvf-bench raises it via the
+// -workers flag to spread each campaign's iteration budget across a
+// sharded core.ParallelCampaign.
+var campaignWorkers = 1
+
+// SetCampaignWorkers selects how many parallel shards every experiment
+// campaign uses (values < 1 are treated as 1). Results stay deterministic
+// for a fixed worker count, but differ between worker counts: shard i
+// fuzzes with seed+i and the iteration axis becomes global.
+func SetCampaignWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	campaignWorkers = n
+}
+
 func runCampaign(tool Tool, v kernel.Version, seed int64, iters int) (*core.Stats, error) {
-	c := core.NewCampaign(core.CampaignConfig{
+	cfg := core.CampaignConfig{
 		Source:     tool.Source,
 		Version:    v,
 		Sanitize:   tool.Sanitize,
 		Seed:       seed,
 		MutateBias: tool.MutateBias,
-	})
+	}
+	if campaignWorkers > 1 {
+		c := core.NewParallelCampaign(core.ParallelConfig{
+			CampaignConfig: cfg, Workers: campaignWorkers,
+		})
+		return c.Run(iters)
+	}
+	c := core.NewCampaign(cfg)
 	return c.Run(iters)
 }
 

@@ -10,6 +10,9 @@ import (
 )
 
 func TestTable2SmallBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-budget campaign; concurrency is covered elsewhere under -race")
+	}
 	res, err := Table2(12000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +41,9 @@ func TestTable2SmallBudget(t *testing.T) {
 }
 
 func TestFig6SmallBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-budget campaign; concurrency is covered elsewhere under -race")
+	}
 	res, err := Fig6(4000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -67,6 +73,9 @@ func TestFig6SmallBudget(t *testing.T) {
 }
 
 func TestAcceptanceShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-budget campaign; concurrency is covered elsewhere under -race")
+	}
 	res, err := Acceptance(4000)
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +149,9 @@ func TestOverheadShape(t *testing.T) {
 }
 
 func TestCVEOnV515(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-budget campaign; concurrency is covered elsewhere under -race")
+	}
 	// The CVE knob only exists on v5.15; a campaign there should find it.
 	tool := Tools()[0]
 	st, err := runCampaign(tool, kernel.V515, 3, 30000)
@@ -152,6 +164,9 @@ func TestCVEOnV515(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-budget campaign; concurrency is covered elsewhere under -race")
+	}
 	res, err := Ablation(8000)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets the full-budget experiment regenerations skip under
+// the race detector, where they are ~30x slower and add no concurrency
+// coverage beyond the short experiments that still run.
+const raceEnabled = true

@@ -10,7 +10,10 @@
 //	bvf-bench -exp all
 //
 // Every campaign-driven experiment accepts -workers N to shard each
-// campaign's iteration budget across N parallel fuzzing instances.
+// campaign's iteration budget across N parallel fuzzing instances, and
+// -supervise to run campaigns under the self-healing supervisor (off by
+// default: experiment results are bit-identical either way with no
+// faults, and unsupervised keeps the watchdog clocks unarmed).
 package main
 
 import (
@@ -18,20 +21,25 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2, fig6, table3, acceptance, overhead, ablation, all")
-		budget  = flag.Int("budget", 0, "iteration budget (0 = per-experiment default)")
-		seeds   = flag.Int("seeds", 3, "campaign seeds for table2")
-		repeats = flag.Int("repeats", 3, "repetitions for fig6/overhead")
-		corpus  = flag.Int("corpus", 708, "self-test corpus size for overhead")
-		workers = flag.Int("workers", 1, "parallel shards per campaign (1 = the paper's single-instance runs)")
+		exp       = flag.String("exp", "all", "experiment: table2, fig6, table3, acceptance, overhead, ablation, all")
+		budget    = flag.Int("budget", 0, "iteration budget (0 = per-experiment default)")
+		seeds     = flag.Int("seeds", 3, "campaign seeds for table2")
+		repeats   = flag.Int("repeats", 3, "repetitions for fig6/overhead")
+		corpus    = flag.Int("corpus", 708, "self-test corpus size for overhead")
+		workers   = flag.Int("workers", 1, "parallel shards per campaign (1 = the paper's single-instance runs)")
+		supervise = flag.Bool("supervise", false, "run experiment campaigns under the self-healing supervisor")
 	)
 	flag.Parse()
 	experiments.SetCampaignWorkers(*workers)
+	if *supervise {
+		experiments.SetSupervision(core.SupervisorConfig{Enabled: true})
+	}
 
 	pick := func(def int) int {
 		if *budget > 0 {

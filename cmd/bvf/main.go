@@ -6,20 +6,35 @@
 //
 //	bvf [-version bpf-next|v6.1|v5.15] [-iters N] [-seed N] [-workers N]
 //	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
+//	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
+//	    [-supervise] [-max-restarts N] [-watchdog D]
 //
 // The campaign is sharded across -workers parallel fuzzing instances
 // (default: all CPUs), each with its own simulated kernel, RNG and
 // corpus; a coordinator merges coverage and exchanges coverage-novel
 // programs between shards. Progress is reported on stderr every few
 // seconds.
+//
+// Long campaigns are crash-safe: with -checkpoint the coordinator
+// atomically snapshots the whole campaign (corpus, coverage, statistics,
+// RNG positions) every -checkpoint-every rounds, and -resume continues a
+// previous campaign from its snapshot instead of restarting. SIGINT
+// stops gracefully — the in-flight round finishes, a final checkpoint is
+// written, and the statistics so far are printed. Supervision (on by
+// default) contains harness panics as findings, restarts crashed shards
+// with a backoff and circuit breaker, and bounds verification/execution
+// wall-clock time with -watchdog.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/baseline"
@@ -30,12 +45,19 @@ import (
 func main() {
 	var (
 		versionFlag = flag.String("version", "bpf-next", "kernel version: v5.15, v6.1 or bpf-next")
-		iters       = flag.Int("iters", 100000, "fuzzing iterations")
+		iters       = flag.Int("iters", 100000, "fuzzing iterations (total target; resumed runs do the remainder)")
 		seed        = flag.Int64("seed", 1, "campaign seed")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel campaign shards")
 		tool        = flag.String("tool", "bvf", "generator: bvf, syzkaller, buzzer, buzzer-random")
 		noSan       = flag.Bool("nosanitize", false, "disable the BVF sanitation patches")
 		verbose     = flag.Bool("v", false, "print reproducer programs for each bug")
+
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file for crash-safe campaigns")
+		ckptEvery = flag.Int("checkpoint-every", 8, "rounds between checkpoints")
+		resume    = flag.Bool("resume", false, "resume the campaign from -checkpoint")
+		supervise = flag.Bool("supervise", true, "contain harness crashes and restart crashed shards")
+		maxRst    = flag.Int("max-restarts", 8, "per-shard restart budget before the shard is retired")
+		watchdog  = flag.Duration("watchdog", 2*time.Second, "wall-clock limit per verification/execution (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,6 +72,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bvf: unknown version %q\n", *versionFlag)
 		os.Exit(2)
+	}
+
+	// A resumed campaign must be rebuilt with the snapshot's identity:
+	// the snapshot records where a specific (seed, workers) campaign was,
+	// and mismatched flags would be rejected by Resume anyway.
+	var snap *core.Snapshot
+	if *resume {
+		if *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "bvf: -resume requires -checkpoint")
+			os.Exit(2)
+		}
+		var err error
+		snap, err = core.LoadSnapshot(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvf: resume: %v\n", err)
+			os.Exit(1)
+		}
+		*seed = snap.Seed
+		*workers = snap.Workers
 	}
 
 	var src core.ProgramSource
@@ -69,6 +110,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	runIters := *iters
+	if snap != nil {
+		done := snap.TotalDone()
+		if done >= runIters {
+			fmt.Fprintf(os.Stderr, "bvf: checkpoint already has %d iterations (target %d), nothing to do\n", done, runIters)
+			os.Exit(0)
+		}
+		runIters -= done
+		fmt.Printf("bvf: resuming from %s: %d iterations done, %d to go\n", *ckptPath, done, runIters)
+	}
+
 	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d, workers=%d)\n",
 		version, src.Name(), *iters, sanitize, *seed, *workers)
 	start := time.Now()
@@ -76,23 +128,66 @@ func main() {
 		CampaignConfig: core.CampaignConfig{
 			Source: src, Version: version, Sanitize: sanitize,
 			Seed: *seed, MutateBias: mutate,
+			Supervision: core.SupervisorConfig{
+				Enabled:       *supervise,
+				MaxRestarts:   *maxRst,
+				VerifyTimeout: timeoutOrOff(*watchdog),
+				ExecTimeout:   timeoutOrOff(*watchdog),
+			},
 		},
-		Workers:  *workers,
-		Progress: os.Stderr,
+		Workers:         *workers,
+		Progress:        os.Stderr,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
 	})
-	st, err := c.Run(*iters)
-	if err != nil {
+	if snap != nil {
+		if err := c.Resume(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "bvf: resume: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Graceful SIGINT/SIGTERM: finish the round, checkpoint, report.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "bvf: stopping after the current round (interrupt again to kill)")
+		c.Stop()
+		signal.Stop(sigs)
+	}()
+
+	st, err := c.Run(runIters)
+	stopped := errors.Is(err, core.ErrStopped)
+	if err != nil && !stopped {
+		// Partial statistics from the healthy shards still get reported
+		// below before exiting nonzero.
 		fmt.Fprintf(os.Stderr, "bvf: %v\n", err)
-		os.Exit(1)
+		if st == nil {
+			os.Exit(1)
+		}
 	}
 	elapsed := time.Since(start)
 
+	if stopped {
+		note := ""
+		if *ckptPath != "" {
+			note = fmt.Sprintf(" (checkpoint written to %s; resume with -resume)", *ckptPath)
+		}
+		fmt.Printf("\nstopped by signal after %d iterations%s\n", st.Iterations, note)
+	}
 	fmt.Printf("\nelapsed:          %s (%.0f iters/sec)\n",
 		elapsed.Round(time.Millisecond), float64(st.Iterations)/elapsed.Seconds())
 	fmt.Printf("iterations:       %d\n", st.Iterations)
 	fmt.Printf("accepted:         %d (%.1f%%)\n", st.Accepted, 100*st.AcceptanceRate())
 	fmt.Printf("verifier coverage:%d branches\n", st.Coverage.Count())
 	fmt.Printf("corpus:           %d programs\n", st.CorpusSize)
+	if st.CrashCount > 0 || st.ShardRestarts > 0 {
+		fmt.Printf("harness crashes:  %d contained (%d shard restarts)\n", st.CrashCount, st.ShardRestarts)
+	}
+	if len(st.WatchdogTrips) > 0 {
+		fmt.Printf("watchdog trips:   %v\n", st.WatchdogTrips)
+	}
 	fmt.Printf("bugs found:       %d (%d verifier correctness)\n\n", len(st.Bugs), st.VerifierBugsFound())
 
 	var recs []*core.BugRecord
@@ -116,6 +211,24 @@ func main() {
 	if len(st.OtherAnomalies) > 0 {
 		fmt.Printf("\nunattributed anomalies: %v\n", st.OtherAnomalies)
 	}
+	for _, cr := range st.HarnessCrashes {
+		fmt.Printf("\nharness crash (shard %d, iter %d): %s\n", cr.Shard, cr.Iteration, cr.Value)
+		if *verbose && cr.Program != nil {
+			fmt.Println(indent(cr.Program.String(), "    "))
+		}
+	}
+	if err != nil && !stopped {
+		os.Exit(1)
+	}
+}
+
+// timeoutOrOff maps the 0 flag value onto the config's explicit
+// "disabled" encoding (negative), keeping 0 = "use default" internal.
+func timeoutOrOff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
 }
 
 func indent(s, pre string) string {

@@ -1,0 +1,113 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+type payload struct {
+	N     int
+	Name  string
+	Items []int64
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	in := payload{N: 42, Name: "campaign", Items: []int64{1, 2, 3}}
+	if err := Save(path, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || out.Name != in.Name || len(out.Items) != 3 {
+		t.Errorf("round trip mangled payload: %+v", out)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	err := Load(filepath.Join(t.TempDir(), "absent"), &payload{})
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Load on missing file = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := Save(path, &payload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"flipped payload byte": append(append([]byte{}, buf[:len(buf)-1]...), buf[len(buf)-1]^0xff),
+		"truncated":            buf[:len(buf)-2],
+		"short header":         buf[:10],
+		"bad magic":            append([]byte("NOTMAGIC"), buf[8:]...),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, "bad")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Load(p, &payload{}); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Load = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestCrashBetweenWriteAndRename is the crash-consistency contract: a
+// failure after the temp file is written but before the rename must leave
+// the previous checkpoint as the one Load restores.
+func TestCrashBetweenWriteAndRename(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := Save(path, &payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("checkpoint.rename", faultinject.Fault{Kind: faultinject.Error})
+	if err := Save(path, &payload{N: 2}); err == nil {
+		t.Fatal("Save succeeded despite injected crash before rename")
+	}
+	faultinject.Reset()
+	// The torn temp file exists but is ignored; the old snapshot survives.
+	if _, err := os.Stat(path + TempSuffix); err != nil {
+		t.Errorf("expected torn temp file to remain: %v", err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 1 {
+		t.Errorf("restored N=%d, want the pre-crash snapshot 1", out.N)
+	}
+	// A subsequent healthy save replaces it cleanly.
+	if err := Save(path, &payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, &out); err != nil || out.N != 3 {
+		t.Errorf("post-recovery save: N=%d err=%v", out.N, err)
+	}
+}
+
+func TestExists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if Exists(path) {
+		t.Error("Exists on missing file")
+	}
+	if err := Save(path, &payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(path) {
+		t.Error("Exists after Save")
+	}
+}

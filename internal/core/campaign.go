@@ -1,13 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bugs"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/maps"
+	"repro/internal/runtime"
+	"repro/internal/verifier"
 )
 
 // ProgramSource is any program generator the campaign can drive: BVF's
@@ -74,17 +78,24 @@ type CampaignConfig struct {
 	// iteration. ParallelCampaign uses it to feed the live progress
 	// reporter; the callback must be cheap and concurrency-safe.
 	OnIteration func()
+	// Supervision configures panic containment and the wall-clock
+	// watchdogs. The zero value leaves every mechanism off.
+	Supervision SupervisorConfig
 }
 
 // Campaign drives one tool against one kernel version.
 type Campaign struct {
 	cfg    CampaignConfig
+	src    *countedSource
 	r      *rand.Rand
 	stats  *Stats
 	corpus *Corpus
 	// novel accumulates coverage-novel corpus additions since the last
 	// DrainNovel call, for cross-shard exchange in ParallelCampaign.
 	novel []NovelProgram
+	// lastProg is the program of the in-flight iteration, attached to a
+	// HarnessCrash when panic containment fires mid-iteration.
+	lastProg *isa.Program
 
 	k    *kernel.Kernel
 	pool []MapHandle
@@ -111,9 +122,12 @@ func NewCampaign(cfg CampaignConfig) *Campaign {
 	if cfg.RunsPerProgram == 0 {
 		cfg.RunsPerProgram = 2
 	}
+	cfg.Supervision = cfg.Supervision.withDefaults()
+	src := newCountedSource(cfg.Seed)
 	return &Campaign{
 		cfg:    cfg,
-		r:      rand.New(rand.NewSource(cfg.Seed)),
+		src:    src,
+		r:      rand.New(src),
 		corpus: NewCorpus(256),
 		stats:  NewStats(cfg.Source.Name(), cfg.Version),
 	}
@@ -143,11 +157,16 @@ var poolSpecs = []maps.Spec{
 // corpus persist; map fds are stable because the pool is created in a
 // fixed order.
 func (c *Campaign) recycle() error {
+	if err := faultinject.FireErr("core.recycle"); err != nil {
+		return fmt.Errorf("campaign: recycle: %w", err)
+	}
 	c.k = kernel.New(kernel.Config{
-		Version:  c.cfg.Version,
-		Bugs:     c.cfg.OverrideBugs,
-		Sanitize: c.cfg.Sanitize,
-		Cov:      c.stats.Coverage,
+		Version:       c.cfg.Version,
+		Bugs:          c.cfg.OverrideBugs,
+		Sanitize:      c.cfg.Sanitize,
+		Cov:           c.stats.Coverage,
+		VerifyTimeout: c.cfg.Supervision.verifyTimeout(),
+		ExecTimeout:   c.cfg.Supervision.execTimeout(),
 	})
 	c.pool = c.pool[:0]
 	for _, spec := range poolSpecs {
@@ -207,6 +226,10 @@ func (c *Campaign) addNovel(p *isa.Program, novelty int) {
 // (BugRecord.FoundAt, CurvePoint.Iteration, the recycle cadence) continues
 // from where the previous call stopped rather than restarting at zero.
 func (c *Campaign) Run(iters int) (*Stats, error) {
+	// Fault point outside the per-iteration containment: a panic here can
+	// only be caught by the shard supervisor, which is exactly what tests
+	// use it for.
+	faultinject.Fire("core.round")
 	sampleEvery := iters / c.cfg.CurveSamples
 	if sampleEvery == 0 {
 		sampleEvery = 1
@@ -219,7 +242,7 @@ func (c *Campaign) Run(iters int) (*Stats, error) {
 				return nil, err
 			}
 		}
-		c.iteration(gi)
+		c.runIteration(gi)
 		if i%sampleEvery == 0 || i == iters-1 {
 			c.stats.Curve = append(c.stats.Curve, CurvePoint{
 				Iteration: gi + 1, Branches: c.stats.Coverage.Count(),
@@ -234,13 +257,38 @@ func (c *Campaign) Run(iters int) (*Stats, error) {
 	return c.stats, nil
 }
 
+// runIteration executes one fuzzing iteration, containing panics when
+// supervised: a panicking iteration is recorded as a HarnessCrash finding
+// (a harness crash is an oracle signal, not a reason to abort a multi-day
+// campaign) and the kernel is dropped so the next iteration rebuilds it —
+// a panic may have left it mid-mutation.
+func (c *Campaign) runIteration(gi int) {
+	if !c.cfg.Supervision.Enabled {
+		c.iteration(gi)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.stats.CrashCount++
+			if len(c.stats.HarnessCrashes) < maxHarnessCrashSamples {
+				c.stats.HarnessCrashes = append(c.stats.HarnessCrashes, recoverCrash(r, gi, c.lastProg))
+			}
+			c.k = nil
+		}
+	}()
+	c.iteration(gi)
+}
+
 func (c *Campaign) iteration(i int) {
+	faultinject.Fire("core.iteration")
+	c.lastProg = nil
 	var prog *isa.Program
 	if c.cfg.MutateBias > 0 && c.corpus.Len() > 0 && c.r.Intn(256) < c.cfg.MutateBias {
 		prog = Mutate(c.r, c.corpus.Pick(c.r))
 	} else {
 		prog = c.cfg.Source.Generate(c.r, c.pool)
 	}
+	c.lastProg = prog
 	c.countInsnMix(prog)
 
 	covBefore := c.stats.Coverage.Count()
@@ -248,6 +296,14 @@ func (c *Campaign) iteration(i int) {
 	newCov := c.stats.Coverage.Count() - covBefore
 
 	if err != nil {
+		var te *verifier.TimeoutError
+		if errors.As(err, &te) {
+			// The watchdog aborted a worklist explosion: a harness
+			// resource limit, not a verifier verdict. Count and keep
+			// the program for triage instead of skewing ErrnoHist.
+			c.recordWatchdog("verify", i, prog)
+			return
+		}
 		c.recordReject(err)
 		// A rejected program can still be an anomaly (Bug #8's
 		// syscall warning).
@@ -266,12 +322,28 @@ func (c *Campaign) iteration(i int) {
 
 	for run := 0; run < c.cfg.RunsPerProgram; run++ {
 		out := c.k.Run(lp)
+		var we *runtime.WatchdogError
+		if errors.As(out.Err, &we) {
+			c.recordWatchdog("exec", i, prog)
+			break
+		}
 		if a := kernel.Classify(out.Err); a != nil {
 			c.recordAnomaly(i, a, prog)
 			break
 		}
 	}
 	c.postRunSyscalls(i, lp, prog)
+}
+
+// recordWatchdog counts a wall-clock watchdog trip and keeps the program
+// for triage.
+func (c *Campaign) recordWatchdog(stage string, i int, prog *isa.Program) {
+	c.stats.WatchdogTrips[stage]++
+	if len(c.stats.TimeoutSamples) < maxTimeoutSamples {
+		c.stats.TimeoutSamples = append(c.stats.TimeoutSamples, TimeoutRecord{
+			Stage: stage, FoundAt: i, Program: prog,
+		})
+	}
 }
 
 // postRunSyscalls exercises the surrounding syscall surface the way a

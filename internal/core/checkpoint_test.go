@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
+)
+
+// checkpointConfig aligns the sync cadence with the kernel recycle
+// cadence (512) so checkpoints land exactly where a fresh kernel is
+// built anyway — the alignment that makes resume bit-identical.
+func checkpointConfig(seed int64, path string) ParallelConfig {
+	cfg := parallelConfig(2, seed)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 1
+	return cfg
+}
+
+// statsEqual asserts the statistics relevant to reproducibility match.
+func statsEqual(t *testing.T, a, b *Stats) {
+	t.Helper()
+	if a.Iterations != b.Iterations || a.Accepted != b.Accepted {
+		t.Errorf("iters/accepted diverged: %d/%d vs %d/%d",
+			a.Iterations, a.Accepted, b.Iterations, b.Accepted)
+	}
+	if a.Coverage.Count() != b.Coverage.Count() {
+		t.Errorf("coverage diverged: %d vs %d", a.Coverage.Count(), b.Coverage.Count())
+	}
+	ids1, ids2 := a.BugIDs(), b.BugIDs()
+	if len(ids1) != len(ids2) {
+		t.Fatalf("bug sets diverged: %v vs %v", ids1, ids2)
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] || a.Bugs[ids1[i]].FoundAt != b.Bugs[ids2[i]].FoundAt {
+			t.Fatalf("bugs diverged: %v@%d vs %v@%d", ids1[i],
+				a.Bugs[ids1[i]].FoundAt, ids2[i], b.Bugs[ids2[i]].FoundAt)
+		}
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curves diverged: %d vs %d points", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("curve point %d diverged: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+	for k, v := range a.ErrnoHist {
+		if b.ErrnoHist[k] != v {
+			t.Fatalf("ErrnoHist[%d] diverged: %d vs %d", k, v, b.ErrnoHist[k])
+		}
+	}
+}
+
+// TestCheckpointResumeBitIdentical: stopping a campaign halfway and
+// resuming a brand-new campaign from the checkpoint must produce
+// statistics bit-identical to an uninterrupted run of the same length.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const seed, total, half = 31, 2048, 1024
+	path := filepath.Join(t.TempDir(), "ckpt")
+
+	// Uninterrupted baseline.
+	base := NewParallelCampaign(parallelConfig(2, seed))
+	want, err := base.Run(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half, checkpointing every round.
+	p1 := NewParallelCampaign(checkpointConfig(seed, path))
+	if _, err := p1.Run(half); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process simulation: new campaign, restore, run the rest.
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.TotalDone(); got != half {
+		t.Fatalf("snapshot TotalDone = %d, want %d", got, half)
+	}
+	p2 := NewParallelCampaign(checkpointConfig(seed, path))
+	if err := p2.Resume(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Run(total - snap.TotalDone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsEqual(t, want, got)
+}
+
+// TestCheckpointCrashConsistent: a crash between temp write and rename
+// (injected) must leave the previous consistent snapshot in place, and
+// resuming from it must work.
+func TestCheckpointCrashConsistent(t *testing.T) {
+	defer faultinject.Reset()
+	const seed = 47
+	path := filepath.Join(t.TempDir(), "ckpt")
+
+	// Round 1's checkpoint succeeds; round 2's crashes mid-rename.
+	faultinject.Arm("checkpoint.rename", faultinject.Fault{Kind: faultinject.Error, OnHit: 2})
+
+	p1 := NewParallelCampaign(checkpointConfig(seed, path))
+	_, err := p1.Run(2048)
+	if err == nil {
+		t.Fatal("want checkpoint failure from injected rename fault")
+	}
+
+	// The round-1 snapshot must still load cleanly.
+	faultinject.Reset()
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.TotalDone(); got != 1024 {
+		t.Fatalf("surviving snapshot TotalDone = %d, want 1024 (round 1)", got)
+	}
+	p2 := NewParallelCampaign(checkpointConfig(seed, path))
+	if err := p2.Resume(snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p2.Run(2048 - snap.TotalDone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 2048 {
+		t.Fatalf("Iterations = %d, want 2048", st.Iterations)
+	}
+	assertCurveConsistent(t, st)
+}
+
+// TestResumeValidation: a snapshot only resumes onto a campaign with the
+// same identity (workers, seed).
+func TestResumeValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	p := NewParallelCampaign(parallelConfig(2, 3))
+	if _, err := p.Run(512); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewParallelCampaign(parallelConfig(4, 3)).Resume(snap); err == nil {
+		t.Error("worker-count mismatch not rejected")
+	}
+	if err := NewParallelCampaign(parallelConfig(2, 4)).Resume(snap); err == nil {
+		t.Error("seed mismatch not rejected")
+	}
+	if err := NewParallelCampaign(parallelConfig(2, 3)).Resume(snap); err != nil {
+		t.Errorf("matching campaign rejected: %v", err)
+	}
+}
+
+// TestStopCheckpoints: Stop interrupts the run at a round edge, returns
+// ErrStopped with valid partial statistics, and the final checkpoint
+// reflects the stop point.
+func TestStopCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	cfg := checkpointConfig(11, path)
+	p := NewParallelCampaign(cfg)
+	p.Stop() // requested before Run: stops after the first round check
+	st, err := p.Run(4096)
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if st == nil {
+		t.Fatal("stopped run must return statistics")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalDone() != st.Iterations {
+		t.Errorf("checkpoint TotalDone = %d, stats.Iterations = %d",
+			snap.TotalDone(), st.Iterations)
+	}
+
+	// A fresh campaign resumes and finishes the remaining quota.
+	snap2, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewParallelCampaign(checkpointConfig(11, path))
+	if err := p2.Resume(snap2); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := p2.Run(1024 - snap2.TotalDone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Iterations != 1024 {
+		t.Fatalf("Iterations = %d, want 1024", st2.Iterations)
+	}
+}
+
+// TestLoadSnapshotMissing surfaces checkpoint.ErrNoCheckpoint so callers
+// can distinguish "no checkpoint yet" from corruption.
+func TestLoadSnapshotMissing(t *testing.T) {
+	_, err := LoadSnapshot(filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}

@@ -67,6 +67,45 @@ func (c *Corpus) Pick(r *rand.Rand) *isa.Program {
 	return c.progs[len(c.progs)-1]
 }
 
+// CorpusEntry is one exported corpus program with its selection weight,
+// as persisted by checkpoints.
+type CorpusEntry struct {
+	Prog   *isa.Program
+	Weight int
+}
+
+// Export snapshots the corpus contents in insertion order. The returned
+// entries share programs with the corpus; callers that mutate them must
+// clone first (checkpointing only serializes, so it does not).
+func (c *Corpus) Export() []CorpusEntry {
+	out := make([]CorpusEntry, 0, len(c.progs))
+	for i, p := range c.progs {
+		out = append(out, CorpusEntry{Prog: p, Weight: c.weights[i]})
+	}
+	return out
+}
+
+// Import replaces the corpus contents with the exported entries,
+// preserving order and weights. Restoring a checkpoint round-trips
+// Export exactly: a subsequent Pick sequence matches the original's.
+func (c *Corpus) Import(entries []CorpusEntry) {
+	c.progs = c.progs[:0]
+	c.weights = c.weights[:0]
+	c.total = 0
+	for _, e := range entries {
+		if e.Prog == nil {
+			continue
+		}
+		w := e.Weight
+		if w < 1 {
+			w = 1
+		}
+		c.progs = append(c.progs, e.Prog)
+		c.weights = append(c.weights, w)
+		c.total += w
+	}
+}
+
 // rejectInfo extracts the errno and a short reason key from a program
 // load failure.
 func rejectInfo(err error) (errno int, word string) {

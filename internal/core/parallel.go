@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -11,6 +12,11 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/coverage"
 )
+
+// ErrStopped is returned by ParallelCampaign.Run when Stop interrupted
+// the campaign before its iteration quota was exhausted. The returned
+// statistics are valid and complete up to the last finished round.
+var ErrStopped = errors.New("parallel campaign: stopped")
 
 // ParallelConfig parameterizes a sharded campaign. The embedded
 // CampaignConfig describes each shard; shard i runs with Seed+i so the
@@ -32,6 +38,13 @@ type ParallelConfig struct {
 	Progress io.Writer
 	// ReportEvery is the progress-report interval. Default 5s.
 	ReportEvery time.Duration
+	// CheckpointPath, when non-empty, makes Run write a crash-consistent
+	// snapshot there every CheckpointEvery rounds and after the final
+	// round, so an interrupted campaign can resume instead of restarting.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in coordinator rounds.
+	// Default 8.
+	CheckpointEvery int
 }
 
 // ParallelCampaign runs N worker shards, each an ordinary Campaign with
@@ -51,6 +64,16 @@ type ParallelCampaign struct {
 	shards []*Campaign
 	global *coverage.Map
 	stats  *Stats
+
+	// Supervision state, touched only at round barriers.
+	restarts   []int  // shard restarts so far (circuit-breaker input)
+	dead       []bool // shards retired by the circuit breaker
+	crashCount int    // shard-level contained panics
+	crashes    []HarnessCrash
+	round      int // completed coordinator rounds (checkpoint cadence)
+
+	// stopped requests a graceful stop; Run honours it at round edges.
+	stopped atomic.Bool
 
 	// Live counters for the progress reporter (the only state touched
 	// concurrently by shards mid-round).
@@ -74,10 +97,16 @@ func NewParallelCampaign(cfg ParallelConfig) *ParallelCampaign {
 	if cfg.ReportEvery <= 0 {
 		cfg.ReportEvery = 5 * time.Second
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 8
+	}
+	cfg.Supervision = cfg.Supervision.withDefaults()
 	p := &ParallelCampaign{
-		cfg:    cfg,
-		global: coverage.NewMap(),
-		stats:  NewStats(cfg.Source.Name(), cfg.Version),
+		cfg:      cfg,
+		global:   coverage.NewMap(),
+		stats:    NewStats(cfg.Source.Name(), cfg.Version),
+		restarts: make([]int, cfg.Workers),
+		dead:     make([]bool, cfg.Workers),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		sc := cfg.CampaignConfig
@@ -109,9 +138,34 @@ func (p *ParallelCampaign) globalIteration(shard, local int) int {
 	return local*len(p.shards) + shard
 }
 
+// Stop requests a graceful stop: Run finishes the in-flight round,
+// records the final barrier state (and checkpoint, when configured), and
+// returns the merged statistics with ErrStopped. Safe to call from any
+// goroutine, e.g. a signal handler.
+func (p *ParallelCampaign) Stop() { p.stopped.Store(true) }
+
+// shardOutcome is what one shard goroutine reports back at the barrier.
+type shardOutcome struct {
+	err   error
+	crash *HarnessCrash
+}
+
 // Run executes total fuzzing iterations divided evenly across the shards
 // and returns the merged statistics. Like Campaign.Run it may be called
 // repeatedly; accounting continues on the global iteration axis.
+//
+// When supervision is enabled each shard goroutine runs under a
+// supervisor: a shard that panics past the per-iteration containment is
+// recorded as a HarnessCrash, its unfinished round quota is refunded
+// (shard statistics only advance at round ends, so nothing is double
+// counted), and the shard is rebuilt with a fresh kernel and a derived
+// RNG seed after an exponential backoff. A shard that keeps crashing
+// trips the MaxRestarts circuit breaker: it is retired and its remaining
+// quota is redistributed to the surviving shards.
+//
+// On error Run still merges every healthy shard's statistics and returns
+// them alongside the error — hours of fuzzing results from the other
+// shards must not vanish because one shard failed.
 func (p *ParallelCampaign) Run(total int) (*Stats, error) {
 	quota := make([]int, len(p.shards))
 	for i := range quota {
@@ -120,38 +174,154 @@ func (p *ParallelCampaign) Run(total int) (*Stats, error) {
 			quota[i]++
 		}
 	}
+	// Quota assigned to already-retired shards (after a resume) moves to
+	// the survivors immediately.
+	for i := range p.shards {
+		if p.dead[i] {
+			p.redistribute(i, quota)
+		}
+	}
 
 	stopReport := p.startReporter()
 	defer stopReport()
 
-	errs := make([]error, len(p.shards))
-	for remaining(quota) {
+	sup := p.cfg.Supervision
+	var firstErr error
+	for remaining(quota) && firstErr == nil && !p.stopped.Load() {
+		outcomes := make([]shardOutcome, len(p.shards))
+		ran := make([]int, len(p.shards))
 		var wg sync.WaitGroup
 		for i := range p.shards {
+			if p.dead[i] {
+				continue
+			}
 			n := quota[i]
 			if n > p.cfg.SyncEvery {
 				n = p.cfg.SyncEvery
 			}
-			if n == 0 || errs[i] != nil {
+			if n == 0 {
 				continue
 			}
 			quota[i] -= n
+			ran[i] = n
 			wg.Add(1)
 			go func(i, n int) {
 				defer wg.Done()
-				_, errs[i] = p.shards[i].Run(n)
+				if sup.Enabled {
+					defer func() {
+						if r := recover(); r != nil {
+							crash := recoverCrash(r, p.shards[i].stats.Iterations, nil)
+							crash.Shard = i
+							outcomes[i].crash = &crash
+						}
+					}()
+				}
+				_, outcomes[i].err = p.shards[i].Run(n)
 			}(i, n)
 		}
 		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("parallel campaign: shard %d: %w", i, err)
+
+		for i := range outcomes {
+			if crash := outcomes[i].crash; crash != nil {
+				p.crashCount++
+				if len(p.crashes) < maxHarnessCrashSamples {
+					p.crashes = append(p.crashes, *crash)
+				}
+				// The crashed round never reached the shard's statistics
+				// (Campaign.Run commits Iterations at completion), so the
+				// whole chunk is refunded and re-run.
+				quota[i] += ran[i]
+				p.restarts[i]++
+				if p.restarts[i] > sup.MaxRestarts {
+					p.dead[i] = true
+					p.redistribute(i, quota)
+					continue
+				}
+				time.Sleep(sup.backoff(p.restarts[i]))
+				p.rebuildShard(i)
+				continue
+			}
+			if err := outcomes[i].err; err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("parallel campaign: shard %d: %w", i, err)
+			}
+		}
+		if p.allDead() {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("parallel campaign: all %d shards retired after repeated crashes", len(p.shards))
 			}
 		}
 		p.sync()
+		p.round++
+		if p.cfg.CheckpointPath != "" && firstErr == nil && p.round%p.cfg.CheckpointEvery == 0 {
+			if err := p.Checkpoint(p.cfg.CheckpointPath); err != nil {
+				firstErr = fmt.Errorf("parallel campaign: %w", err)
+			}
+		}
 	}
 	p.mergeStats()
+	if p.cfg.CheckpointPath != "" && firstErr == nil {
+		if err := p.Checkpoint(p.cfg.CheckpointPath); err != nil {
+			firstErr = fmt.Errorf("parallel campaign: %w", err)
+		}
+	}
+	if firstErr != nil {
+		return p.stats, firstErr
+	}
+	if p.stopped.Load() && remaining(quota) {
+		return p.stats, ErrStopped
+	}
 	return p.stats, nil
+}
+
+// rebuildShard replaces shard i's campaign after a contained crash. The
+// shard keeps its identity — statistics (including the local iteration
+// axis and coverage) and corpus carry over — while the kernel and the RNG
+// trajectory are fresh: the kernel may have been left mid-mutation by the
+// panic, and a derived seed keeps the rebuilt shard from deterministically
+// replaying the crashing trajectory.
+func (p *ParallelCampaign) rebuildShard(i int) {
+	old := p.shards[i]
+	sc := p.cfg.CampaignConfig
+	sc.Seed = deriveSeed(p.cfg.Seed, i, p.restarts[i])
+	sc.OnIteration = func() { p.liveIters.Add(1) }
+	sc.NoMinimize = true
+	nc := NewCampaign(sc)
+	nc.stats = old.stats
+	nc.stats.ShardRestarts++
+	nc.corpus = old.corpus
+	nc.novel = old.novel
+	p.shards[i] = nc
+}
+
+// redistribute hands shard i's remaining quota to the surviving shards,
+// round-robin. With no survivors the quota is dropped; Run then fails
+// with an all-shards-retired error.
+func (p *ParallelCampaign) redistribute(i int, quota []int) {
+	n := quota[i]
+	quota[i] = 0
+	var live []int
+	for j := range p.shards {
+		if !p.dead[j] {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for k := 0; n > 0; k++ {
+		quota[live[k%len(live)]]++
+		n--
+	}
+}
+
+// allDead reports whether the circuit breaker has retired every shard.
+func (p *ParallelCampaign) allDead() bool {
+	for i := range p.shards {
+		if !p.dead[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // sync is the coordinator round, run single-threaded at the barrier: it
@@ -238,7 +408,29 @@ func (p *ParallelCampaign) mergeStats() {
 			u.FoundAt = p.globalIteration(i, u.FoundAt)
 			t.UnattributedSamples = append(t.UnattributedSamples, u)
 		}
+		t.TimeoutSamples = nil
+		for _, ts := range st.TimeoutSamples {
+			ts.FoundAt = p.globalIteration(i, ts.FoundAt)
+			t.TimeoutSamples = append(t.TimeoutSamples, ts)
+		}
+		t.HarnessCrashes = nil
+		for _, h := range st.HarnessCrashes {
+			h.Shard = i
+			h.Iteration = p.globalIteration(i, h.Iteration)
+			t.HarnessCrashes = append(t.HarnessCrashes, h)
+		}
 		merged.Merge(&t)
+	}
+	// Shard-level crashes (caught by the goroutine supervisor rather than
+	// the per-iteration containment) live on the coordinator, not in any
+	// shard's statistics.
+	merged.CrashCount += p.crashCount
+	for _, h := range p.crashes {
+		if len(merged.HarnessCrashes) >= maxHarnessCrashSamples {
+			break
+		}
+		h.Iteration = p.globalIteration(h.Shard, h.Iteration)
+		merged.HarnessCrashes = append(merged.HarnessCrashes, h)
 	}
 	// Merge replayed the (empty) curve; restore the global one.
 	merged.Curve = p.stats.Curve

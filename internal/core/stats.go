@@ -55,10 +55,40 @@ type Stats struct {
 	// InsnClassMix counts generated instructions by class, for the
 	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
 	InsnClassMix map[string]int
+
+	// WatchdogTrips counts wall-clock watchdog activations by stage
+	// ("verify" for worklist explosions, "exec" for runaway executions).
+	WatchdogTrips map[string]int
+	// TimeoutSamples keeps a few watchdog-tripped programs for triage,
+	// analogous to UnattributedSamples.
+	TimeoutSamples []TimeoutRecord
+	// HarnessCrashes samples contained harness panics (capped; CrashCount
+	// is the full tally).
+	HarnessCrashes []HarnessCrash
+	// CrashCount counts every contained harness panic.
+	CrashCount int
+	// ShardRestarts counts supervised shard rebuilds after shard-level
+	// panics.
+	ShardRestarts int
+}
+
+// TimeoutRecord is one watchdog-tripped program kept for triage.
+type TimeoutRecord struct {
+	// Stage is "verify" or "exec".
+	Stage string
+	// FoundAt is the iteration index (global axis after a parallel merge).
+	FoundAt int
+	Program *isa.Program
 }
 
 // maxUnattributedSamples caps the triage-sample buffer.
 const maxUnattributedSamples = 8
+
+// maxTimeoutSamples caps the watchdog triage buffer.
+const maxTimeoutSamples = 8
+
+// maxHarnessCrashSamples caps the contained-panic sample buffer.
+const maxHarnessCrashSamples = 16
 
 // NewStats returns an empty, fully initialized Stats value.
 func NewStats(tool string, v kernel.Version) *Stats {
@@ -71,6 +101,7 @@ func NewStats(tool string, v kernel.Version) *Stats {
 		Bugs:           make(map[bugs.ID]*BugRecord),
 		OtherAnomalies: make(map[string]int),
 		InsnClassMix:   make(map[string]int),
+		WatchdogTrips:  make(map[string]int),
 	}
 }
 
@@ -141,6 +172,26 @@ func (s *Stats) Merge(other *Stats) {
 		}
 		s.UnattributedSamples = append(s.UnattributedSamples, u)
 	}
+	if len(other.WatchdogTrips) > 0 && s.WatchdogTrips == nil {
+		s.WatchdogTrips = make(map[string]int)
+	}
+	for k, v := range other.WatchdogTrips {
+		s.WatchdogTrips[k] += v
+	}
+	for _, t := range other.TimeoutSamples {
+		if len(s.TimeoutSamples) >= maxTimeoutSamples {
+			break
+		}
+		s.TimeoutSamples = append(s.TimeoutSamples, t)
+	}
+	for _, c := range other.HarnessCrashes {
+		if len(s.HarnessCrashes) >= maxHarnessCrashSamples {
+			break
+		}
+		s.HarnessCrashes = append(s.HarnessCrashes, c)
+	}
+	s.CrashCount += other.CrashCount
+	s.ShardRestarts += other.ShardRestarts
 	s.Curve = mergeCurves(s.Curve, other.Curve)
 }
 

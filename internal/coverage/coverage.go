@@ -7,6 +7,7 @@
 package coverage
 
 import (
+	"errors"
 	"hash/fnv"
 	"sort"
 	"sync"
@@ -153,6 +154,67 @@ func (m *Map) Snapshot() []Site {
 	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// MarshalBinary serializes the map as a deterministic (sorted) sequence of
+// little-endian site/count pairs, so checkpointed campaigns can persist
+// coverage. It implements encoding.BinaryMarshaler, which encoding/gob
+// picks up automatically.
+func (m *Map) MarshalBinary() ([]byte, error) {
+	if m == nil {
+		return nil, nil
+	}
+	sites := m.Snapshot()
+	out := make([]byte, 0, 8+16*len(sites))
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		out = append(out, b[:]...)
+	}
+	put(uint64(len(sites)))
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, s := range sites {
+		put(uint64(s))
+		put(m.sites[s])
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a map serialized by MarshalBinary, replacing any
+// existing contents.
+func (m *Map) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		m.mu.Lock()
+		m.sites = make(map[Site]uint64)
+		m.mu.Unlock()
+		return nil
+	}
+	if len(data) < 8 {
+		return errors.New("coverage: truncated serialized map")
+	}
+	get := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(data[off+i]) << (8 * i)
+		}
+		return v
+	}
+	n := int(get(0))
+	if len(data) != 8+16*n {
+		return errors.New("coverage: serialized map length mismatch")
+	}
+	sites := make(map[Site]uint64, n)
+	for i := 0; i < n; i++ {
+		off := 8 + 16*i
+		sites[Site(get(off))] = get(off + 8)
+	}
+	m.mu.Lock()
+	m.sites = sites
+	m.mu.Unlock()
+	return nil
 }
 
 // Signature returns a 64-bit digest of the covered-site set, used by

@@ -68,13 +68,26 @@ func SetCampaignWorkers(n int) {
 	campaignWorkers = n
 }
 
+// campaignSupervision is the supervision policy experiment campaigns run
+// with; off by default so the validated classic campaigns stay
+// byte-for-byte unchanged (a fixed-seed run is bit-identical either way,
+// but off avoids even arming the watchdog clocks).
+var campaignSupervision core.SupervisorConfig
+
+// SetSupervision applies a supervision policy (panic containment,
+// watchdogs, shard restarts) to every subsequent experiment campaign.
+func SetSupervision(s core.SupervisorConfig) {
+	campaignSupervision = s
+}
+
 func runCampaign(tool Tool, v kernel.Version, seed int64, iters int) (*core.Stats, error) {
 	cfg := core.CampaignConfig{
-		Source:     tool.Source,
-		Version:    v,
-		Sanitize:   tool.Sanitize,
-		Seed:       seed,
-		MutateBias: tool.MutateBias,
+		Source:      tool.Source,
+		Version:     v,
+		Sanitize:    tool.Sanitize,
+		Seed:        seed,
+		MutateBias:  tool.MutateBias,
+		Supervision: campaignSupervision,
 	}
 	if campaignWorkers > 1 {
 		c := core.NewParallelCampaign(core.ParallelConfig{

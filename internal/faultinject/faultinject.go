@@ -1,0 +1,222 @@
+// Package faultinject provides named, deterministic fault points for
+// testing the campaign runtime's self-healing machinery. Production code
+// calls Fire/FireErr at interesting sites (one atomic load when nothing is
+// armed); tests arm a site with a panic, error, or delay fault and a
+// deterministic trigger — either a hit count or a seed-keyed pseudo-random
+// rate — then assert the supervisor, watchdog, or checkpoint layer
+// recovered. All faults are process-local and disarmed by Reset.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed fault does when it triggers.
+type Kind int
+
+// Fault kinds.
+const (
+	// Panic panics with an *InjectedPanic value.
+	Panic Kind = iota
+	// Error makes FireErr return Err (or a generic injected error).
+	Error
+	// Delay sleeps for Delay, used to trip wall-clock watchdogs.
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault describes one armed fault. Triggering is deterministic: with OnHit
+// set the fault fires on exactly that visit (1-based); with Every set it
+// fires on every Every-th visit; with Rate set it fires on visits whose
+// seed-keyed hash falls under the rate. When no trigger field is set the
+// fault fires on every visit.
+type Fault struct {
+	Kind Kind
+	// OnHit fires on the n-th visit only (1-based, one-shot).
+	OnHit uint64
+	// Every fires on every n-th visit.
+	Every uint64
+	// Seed keys the pseudo-random trigger used with Rate.
+	Seed int64
+	// Rate fires on visits where splitmix64(Seed^hit)&0xff < Rate, a
+	// deterministic stand-in for probabilistic fault injection.
+	Rate uint8
+	// Delay is the sleep duration for Kind Delay.
+	Delay time.Duration
+	// Err is the error returned for Kind Error (nil selects a generic
+	// injected error naming the point).
+	Err error
+}
+
+// InjectedPanic is the value a Panic fault panics with, so recover sites
+// and tests can recognize injected crashes.
+type InjectedPanic struct {
+	Point string
+	Hit   uint64
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %q (hit %d)", p.Point, p.Hit)
+}
+
+// ErrInjected is wrapped by the default error of an Error fault.
+var ErrInjected = errors.New("faultinject: injected error")
+
+type point struct {
+	fault Fault
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+var (
+	mu     sync.RWMutex
+	points = map[string]*point{}
+	// armedCount gates the Fire fast path: when zero, Fire is one atomic
+	// load and a branch, cheap enough for interpreter loops.
+	armedCount atomic.Int64
+)
+
+// Arm installs f at the named point, replacing any previous fault there.
+func Arm(name string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armedCount.Add(1)
+	}
+	points[name] = &point{fault: f}
+}
+
+// Disarm removes the fault at the named point.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armedCount.Add(-int64(len(points)))
+	points = map[string]*point{}
+}
+
+// Hits returns how many times the named point has been visited since it
+// was armed.
+func Hits(name string) uint64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	if p, ok := points[name]; ok {
+		return p.hits.Load()
+	}
+	return 0
+}
+
+// Fired returns how many times the named point's fault has triggered.
+func Fired(name string) uint64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	if p, ok := points[name]; ok {
+		return p.fired.Load()
+	}
+	return 0
+}
+
+// splitmix64 is the usual avalanche mix, here keying deterministic
+// pseudo-random triggers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (f *Fault) triggers(hit uint64) bool {
+	switch {
+	case f.OnHit > 0:
+		return hit == f.OnHit
+	case f.Every > 0:
+		return hit%f.Every == 0
+	case f.Rate > 0:
+		return uint8(splitmix64(uint64(f.Seed)^hit)&0xff) < f.Rate
+	}
+	return true
+}
+
+// lookup returns the triggered fault for this visit, or nil.
+func lookup(name string) (*Fault, uint64) {
+	mu.RLock()
+	p, ok := points[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, 0
+	}
+	hit := p.hits.Add(1)
+	if !p.fault.triggers(hit) {
+		return nil, 0
+	}
+	p.fired.Add(1)
+	return &p.fault, hit
+}
+
+// Fire visits the named point: an armed Panic fault panics, a Delay fault
+// sleeps. Error faults are ignored here (use FireErr at sites that can
+// propagate an error). When nothing is armed anywhere, Fire is a single
+// atomic load.
+func Fire(name string) {
+	if armedCount.Load() == 0 {
+		return
+	}
+	f, hit := lookup(name)
+	if f == nil {
+		return
+	}
+	switch f.Kind {
+	case Panic:
+		panic(&InjectedPanic{Point: name, Hit: hit})
+	case Delay:
+		time.Sleep(f.Delay)
+	}
+}
+
+// FireErr visits the named point like Fire and additionally returns the
+// armed error for Error faults.
+func FireErr(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	f, hit := lookup(name)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case Panic:
+		panic(&InjectedPanic{Point: name, Hit: hit})
+	case Delay:
+		time.Sleep(f.Delay)
+	case Error:
+		if f.Err != nil {
+			return f.Err
+		}
+		return fmt.Errorf("%w at %q (hit %d)", ErrInjected, name, hit)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedFireIsNoop(t *testing.T) {
+	Reset()
+	Fire("nowhere")
+	if err := FireErr("nowhere"); err != nil {
+		t.Fatalf("unarmed FireErr returned %v", err)
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: Error, OnHit: 3})
+	var errs int
+	for i := 0; i < 10; i++ {
+		if FireErr("p") != nil {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Errorf("OnHit=3 fired %d times, want 1", errs)
+	}
+	if Hits("p") != 10 || Fired("p") != 1 {
+		t.Errorf("hits=%d fired=%d, want 10/1", Hits("p"), Fired("p"))
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: Error, Every: 4})
+	var errs int
+	for i := 0; i < 12; i++ {
+		if FireErr("p") != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Errorf("Every=4 fired %d times over 12 hits, want 3", errs)
+	}
+}
+
+func TestSeededRateIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	pattern := func(seed int64) []bool {
+		Arm("p", Fault{Kind: Error, Seed: seed, Rate: 64})
+		defer Disarm("p")
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, FireErr("p") != nil)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded trigger diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Errorf("rate 64/256 fired %d/64 times, expected a strict subset", fired)
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trigger patterns")
+	}
+}
+
+func TestPanicCarriesPointAndHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: Panic, OnHit: 1})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *InjectedPanic", r)
+		}
+		if ip.Point != "p" || ip.Hit != 1 {
+			t.Errorf("panic value %v", ip)
+		}
+	}()
+	Fire("p")
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelaySleeps(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	Fire("p")
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Errorf("delay fault slept only %v", el)
+	}
+}
+
+func TestErrorFaultDefaultsToErrInjected(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: Error})
+	if err := FireErr("p"); !errors.Is(err, ErrInjected) {
+		t.Errorf("FireErr = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	Arm("q", Fault{Kind: Error, Err: custom})
+	if err := FireErr("q"); !errors.Is(err, custom) {
+		t.Errorf("FireErr = %v, want custom error", err)
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Reset()
+	Arm("a", Fault{Kind: Error})
+	Arm("b", Fault{Kind: Error})
+	Reset()
+	if err := FireErr("a"); err != nil {
+		t.Errorf("point survived Reset: %v", err)
+	}
+	if armedCount.Load() != 0 {
+		t.Errorf("armedCount = %d after Reset", armedCount.Load())
+	}
+}

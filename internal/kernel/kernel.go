@@ -9,6 +9,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/coverage"
@@ -88,6 +89,13 @@ type Config struct {
 	Cov *coverage.Map
 	// VerifierBudget caps verification work per program.
 	VerifierBudget int
+	// VerifyTimeout, when positive, arms a wall-clock watchdog on each
+	// verification (worklist explosions); a timed-out load returns
+	// *verifier.TimeoutError.
+	VerifyTimeout time.Duration
+	// ExecTimeout, when positive, arms a wall-clock watchdog on each
+	// program execution; a timed-out run carries *runtime.WatchdogError.
+	ExecTimeout time.Duration
 }
 
 // Kernel is one simulated kernel instance.
@@ -175,6 +183,7 @@ func (k *Kernel) VerifierConfig() *verifier.Config {
 		Cov:              k.Cfg.Cov,
 		MaxInsnProcessed: k.Cfg.VerifierBudget,
 		DisableKfuncs:    !k.Cfg.Version.HasKfuncs(),
+		Timeout:          k.Cfg.VerifyTimeout,
 	}
 }
 
@@ -224,6 +233,9 @@ func (k *Kernel) Run(lp *LoadedProg) *runtime.ExecOutcome {
 		var last *runtime.ExecOutcome
 		handler := func(depth int) error {
 			x := runtime.NewExec(k.M, lp.Exec)
+			if k.Cfg.ExecTimeout > 0 {
+				x.SetWatchdog(k.Cfg.ExecTimeout)
+			}
 			out := x.Run()
 			last = out
 			return out.Err
@@ -241,6 +253,9 @@ func (k *Kernel) Run(lp *LoadedProg) *runtime.ExecOutcome {
 		return last
 	}
 	x := runtime.NewExec(k.M, lp.Exec)
+	if k.Cfg.ExecTimeout > 0 {
+		x.SetWatchdog(k.Cfg.ExecTimeout)
+	}
 	out := x.Run()
 	if out.Err == nil {
 		if viol := k.M.Lockdep.ExitContext("cpu0"); viol != nil {
@@ -341,6 +356,16 @@ func Classify(err error) *Anomaly {
 	}
 	var step *runtime.StepLimitError
 	if errors.As(err, &step) {
+		return nil
+	}
+	// Watchdog timeouts are harness resource limits, not kernel bugs: the
+	// campaign counts and skips the program instead of reporting it.
+	var vt *verifier.TimeoutError
+	if errors.As(err, &vt) {
+		return nil
+	}
+	var wd *runtime.WatchdogError
+	if errors.As(err, &wd) {
 		return nil
 	}
 	var rep *kmem.Report

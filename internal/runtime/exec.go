@@ -3,8 +3,10 @@ package runtime
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/btf"
+	"repro/internal/faultinject"
 	"repro/internal/helpers"
 	"repro/internal/isa"
 	"repro/internal/kmem"
@@ -30,6 +32,12 @@ type Exec struct {
 	steps  int
 	limit  int
 	ctxCtx string // lockdep context name
+
+	// watchdog is the wall-clock budget for Run (0 = unbounded); deadline
+	// is materialized when Run starts. Tail-call chains inherit the
+	// caller's deadline so a chain cannot multiply the budget.
+	watchdog time.Duration
+	deadline time.Time
 
 	stacks []*kmem.Allocation // one per live call frame
 	rets   []int              // return addresses (decoded indices)
@@ -73,6 +81,33 @@ func NewExec(m *Machine, prog *isa.Program) *Exec {
 
 // SetStepLimit overrides the instruction budget.
 func (x *Exec) SetStepLimit(n int) { x.limit = n }
+
+// SetWatchdog arms a wall-clock deadline for the whole execution. The
+// step limit bounds work in interpreter steps; the watchdog bounds real
+// time, catching stalls that burn few steps (e.g. a stuck helper). A
+// timed-out run returns a *WatchdogError, which kernel.Classify treats
+// as a resource limit rather than an anomaly.
+func (x *Exec) SetWatchdog(d time.Duration) { x.watchdog = d }
+
+// WatchdogError reports that an execution exceeded its wall-clock budget.
+type WatchdogError struct {
+	Timeout time.Duration
+	Steps   int
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("runtime: watchdog: execution exceeded %v (%d steps)", e.Timeout, e.Steps)
+}
+
+// checkWatchdog visits the fault point and then the deadline, so an
+// injected delay is observed by the very next check.
+func (x *Exec) checkWatchdog() error {
+	faultinject.Fire("runtime.exec")
+	if !x.deadline.IsZero() && time.Now().After(x.deadline) {
+		return &WatchdogError{Timeout: x.watchdog, Steps: x.steps}
+	}
+	return nil
+}
 
 // buildCtx allocates and fills the program's context per its type.
 func (x *Exec) buildCtx() {
@@ -132,6 +167,12 @@ func (x *Exec) Run() *ExecOutcome {
 	if x.ctxAlloc == nil {
 		x.buildCtx()
 	}
+	if x.watchdog > 0 && x.deadline.IsZero() {
+		x.deadline = time.Now().Add(x.watchdog)
+	}
+	if err := x.checkWatchdog(); err != nil {
+		return &ExecOutcome{Steps: x.steps, Err: err}
+	}
 	x.pushFrame()
 	x.regs[isa.R1] = x.ctxAlloc.BaseAddr
 	r0, err := x.loop(0)
@@ -152,6 +193,11 @@ func (x *Exec) loop(pc int) (uint64, error) {
 		x.steps++
 		if x.steps > x.limit {
 			return 0, &StepLimitError{Steps: x.steps}
+		}
+		if x.steps&1023 == 0 {
+			if err := x.checkWatchdog(); err != nil {
+				return 0, err
+			}
 		}
 		ins := insns[pc]
 		switch ins.Class() {
@@ -604,6 +650,8 @@ func (x *Exec) execTailCall(pc int, ins isa.Instruction) (int, bool, error) {
 	sub.ctxAlloc = x.ctxAlloc
 	sub.pkt = x.pkt
 	sub.limit = x.limit - x.steps
+	sub.watchdog = x.watchdog
+	sub.deadline = x.deadline
 	out := sub.Run()
 	x.steps += out.Steps
 	if out.Err != nil {

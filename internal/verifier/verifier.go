@@ -3,11 +3,14 @@ package verifier
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/btf"
 	"repro/internal/bugs"
 	"repro/internal/coverage"
+	"repro/internal/faultinject"
 	"repro/internal/helpers"
 	"repro/internal/isa"
 	"repro/internal/maps"
@@ -63,6 +66,26 @@ type Config struct {
 	DisableKfuncs bool
 	// EnableStats makes Verify fill the Result counters.
 	LogLevel int
+	// Timeout, when positive, bounds the wall-clock time of one Verify
+	// call; exceeding it aborts the exploration with a *TimeoutError.
+	// This is the campaign watchdog against worklist explosions that the
+	// instruction budget alone does not catch (a single pathological
+	// state can be slow without processing many instructions).
+	Timeout time.Duration
+}
+
+// TimeoutError reports that a verification exceeded its wall-clock
+// watchdog deadline. It is a harness resource limit, not a verifier
+// verdict: kernel.Classify treats it as no anomaly, and campaigns skip
+// and count the program instead of hanging the shard.
+type TimeoutError struct {
+	Timeout       time.Duration
+	InsnProcessed int
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("verifier: watchdog: verification exceeded %v (%d insns processed)",
+		e.Timeout, e.InsnProcessed)
 }
 
 // RangeCheck records the verifier's belief about a scalar register at a
@@ -151,6 +174,9 @@ type env struct {
 	slotOf []int // decoded index -> encoded slot
 	idxOf  map[int]int
 
+	// deadline is the wall-clock watchdog cutoff (zero = unbounded).
+	deadline time.Time
+
 	insnProcessed int
 	totalStates   int
 	peakStates    int
@@ -191,6 +217,19 @@ func (e *env) logf(format string, args ...interface{}) {
 }
 
 func (e *env) newID() uint32 { e.idCounter++; return e.idCounter }
+
+// watchdog is the wall-clock deadline check, visited once per worklist
+// state and every 256 processed instructions. The faultinject point lets
+// tests stall a verification deterministically to prove the watchdog
+// trips; the time check runs after the fault point so an injected delay
+// is observed by the very check that follows it.
+func (e *env) watchdog() error {
+	faultinject.Fire("verifier.verify")
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		return &TimeoutError{Timeout: e.cfg.Timeout, InsnProcessed: e.insnProcessed}
+	}
+	return nil
+}
 
 func (e *env) reject(insn int, errno int, format string, args ...interface{}) error {
 	msg := fmt.Sprintf(format, args...)
@@ -263,6 +302,9 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		usedMapSet:    make(map[*maps.Map]bool),
 		idxOf:         make(map[int]int),
 	}
+	if cfg.Timeout > 0 {
+		e.deadline = time.Now().Add(cfg.Timeout)
+	}
 	for i := range prog.Insns {
 		s := prog.SlotOf(i)
 		e.slotOf = append(e.slotOf, s)
@@ -281,6 +323,9 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 
 	worklist := []*State{newInitialState()}
 	for len(worklist) > 0 {
+		if err := e.watchdog(); err != nil {
+			return nil, err
+		}
 		if len(worklist) > e.peakStates {
 			e.peakStates = len(worklist)
 		}
@@ -312,12 +357,11 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		_ = idx
 		res.RangeChecks = append(res.RangeChecks, rc)
 	}
-	// Deterministic order for the sanitizer.
-	for i := 1; i < len(res.RangeChecks); i++ {
-		for j := i; j > 0 && res.RangeChecks[j-1].InsnIdx > res.RangeChecks[j].InsnIdx; j-- {
-			res.RangeChecks[j-1], res.RangeChecks[j] = res.RangeChecks[j], res.RangeChecks[j-1]
-		}
-	}
+	// Deterministic order for the sanitizer. InsnIdx is the map key, so
+	// keys are unique and stability is irrelevant.
+	sort.Slice(res.RangeChecks, func(i, j int) bool {
+		return res.RangeChecks[i].InsnIdx < res.RangeChecks[j].InsnIdx
+	})
 	return res, nil
 }
 
@@ -333,6 +377,11 @@ func (e *env) runPath(st *State) ([]*State, error) {
 		e.insnProcessed++
 		if e.insnProcessed > e.cfg.MaxInsnProcessed {
 			return nil, e.reject(i, E2BIG, "BPF program is too large: processed %d insn", e.insnProcessed)
+		}
+		if e.insnProcessed&255 == 0 {
+			if err := e.watchdog(); err != nil {
+				return nil, err
+			}
 		}
 		ins := e.prog.Insns[i]
 		if e.cfg.LogLevel > 0 {

@@ -14,6 +14,8 @@
 // -supervise to run campaigns under the self-healing supervisor (off by
 // default: experiment results are bit-identical either way with no
 // faults, and unsupervised keeps the watchdog clocks unarmed).
+// -minimize-budget bounds each reproducer minimization's wall clock, so
+// one pathological reproducer cannot stall a whole benchmark sweep.
 package main
 
 import (
@@ -34,11 +36,16 @@ func main() {
 		corpus    = flag.Int("corpus", 708, "self-test corpus size for overhead")
 		workers   = flag.Int("workers", 1, "parallel shards per campaign (1 = the paper's single-instance runs)")
 		supervise = flag.Bool("supervise", false, "run experiment campaigns under the self-healing supervisor")
+		minBudget = flag.Duration("minimize-budget", core.DefaultMinimizeBudget,
+			"wall-clock budget per reproducer minimization (negative disables the bound)")
 	)
 	flag.Parse()
 	experiments.SetCampaignWorkers(*workers)
 	if *supervise {
 		experiments.SetSupervision(core.SupervisorConfig{Enabled: true})
+	}
+	if *minBudget != 0 {
+		core.DefaultMinimizeBudget = *minBudget
 	}
 
 	pick := func(def int) int {

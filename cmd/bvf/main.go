@@ -8,6 +8,7 @@
 //	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
 //	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
 //	    [-supervise] [-max-restarts N] [-watchdog D]
+//	    [-triage] [-findings-dir DIR]
 //
 // The campaign is sharded across -workers parallel fuzzing instances
 // (default: all CPUs), each with its own simulated kernel, RNG and
@@ -24,6 +25,14 @@
 // default) contains harness panics as findings, restarts crashed shards
 // with a backoff and circuit breaker, and bounds verification/execution
 // wall-clock time with -watchdog.
+//
+// With -triage (on by default) every deduplicated finding passes the
+// validation gauntlet after the campaign: deterministic replay,
+// cross-version × sanitizer classification, flake quarantine, and
+// budget-bounded minimization, with a per-verdict summary at the end.
+// -findings-dir persists gauntlet state per finding (crash-consistent,
+// like -checkpoint); a resumed run — even one whose fuzzing quota is
+// already met — picks up any gauntlet left unfinished by a crash.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/triage"
 )
 
 func main() {
@@ -58,6 +68,9 @@ func main() {
 		supervise = flag.Bool("supervise", true, "contain harness crashes and restart crashed shards")
 		maxRst    = flag.Int("max-restarts", 8, "per-shard restart budget before the shard is retired")
 		watchdog  = flag.Duration("watchdog", 2*time.Second, "wall-clock limit per verification/execution (0 disables)")
+
+		doTriage    = flag.Bool("triage", true, "run every finding through the validation gauntlet")
+		findingsDir = flag.String("findings-dir", "", "directory for the crash-safe finding store (empty: in-memory)")
 	)
 	flag.Parse()
 
@@ -114,11 +127,19 @@ func main() {
 	if snap != nil {
 		done := snap.TotalDone()
 		if done >= runIters {
-			fmt.Fprintf(os.Stderr, "bvf: checkpoint already has %d iterations (target %d), nothing to do\n", done, runIters)
-			os.Exit(0)
+			// The fuzzing quota is met, but a crash may have left the
+			// triage gauntlet unfinished: run 0 iterations (which merges
+			// the restored statistics) and fall through to the gauntlet.
+			if !*doTriage {
+				fmt.Fprintf(os.Stderr, "bvf: checkpoint already has %d iterations (target %d), nothing to do\n", done, runIters)
+				os.Exit(0)
+			}
+			runIters = 0
+			fmt.Printf("bvf: resuming from %s: %d iterations done, continuing triage\n", *ckptPath, done)
+		} else {
+			runIters -= done
+			fmt.Printf("bvf: resuming from %s: %d iterations done, %d to go\n", *ckptPath, done, runIters)
 		}
-		runIters -= done
-		fmt.Printf("bvf: resuming from %s: %d iterations done, %d to go\n", *ckptPath, done, runIters)
 	}
 
 	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d, workers=%d)\n",
@@ -188,7 +209,8 @@ func main() {
 	if len(st.WatchdogTrips) > 0 {
 		fmt.Printf("watchdog trips:   %v\n", st.WatchdogTrips)
 	}
-	fmt.Printf("bugs found:       %d (%d verifier correctness)\n\n", len(st.Bugs), st.VerifierBugsFound())
+	fmt.Printf("bugs found:       %d (%d verifier correctness, %d manifestations)\n\n",
+		len(st.BugIDs()), st.VerifierBugsFound(), len(st.Bugs))
 
 	var recs []*core.BugRecord
 	for _, rec := range st.Bugs {
@@ -217,9 +239,40 @@ func main() {
 			fmt.Println(indent(cr.Program.String(), "    "))
 		}
 	}
+	if *doTriage && !stopped {
+		if terr := runGauntlet(st, version, sanitize, *findingsDir); terr != nil {
+			note := ""
+			if *findingsDir != "" {
+				note = fmt.Sprintf(" (finding store %s is crash-safe; rerun with -resume to continue the gauntlet)", *findingsDir)
+			}
+			fmt.Fprintf(os.Stderr, "bvf: triage: %v%s\n", terr, note)
+			os.Exit(1)
+		}
+	}
 	if err != nil && !stopped {
 		os.Exit(1)
 	}
+}
+
+// runGauntlet validates the campaign's findings: replay, cross-config
+// classification, quarantine, minimization — then prints the verdicts.
+func runGauntlet(st *core.Stats, version kernel.Version, sanitize bool, dir string) error {
+	store, err := triage.Open(dir)
+	if err != nil {
+		return err
+	}
+	g := triage.New(triage.Config{}, store)
+	added, err := g.Ingest(st, triage.Env{Version: version, Sanitize: sanitize})
+	if err != nil {
+		return err
+	}
+	if store.Len() == 0 {
+		return nil
+	}
+	fmt.Printf("\nvalidating %d finding(s) (%d new) through the gauntlet...\n\n", store.Len(), added)
+	sum, gerr := g.Run()
+	sum.Print(os.Stdout)
+	return gerr
 }
 
 // timeoutOrOff maps the 0 flag value onto the config's explicit

@@ -30,8 +30,9 @@ import (
 var magic = [8]byte{'B', 'V', 'F', 'C', 'K', 'P', 'T', '\n'}
 
 // FormatVersion is bumped on incompatible envelope or payload changes; a
-// mismatch fails Load rather than guessing.
-const FormatVersion = 1
+// mismatch fails Load rather than guessing. v2: Stats.Bugs keyed by the
+// full manifestation signature (core.BugKey) instead of the bug ID.
+const FormatVersion = 2
 
 // headerSize is magic + version(u32) + payload length(u64) + crc(u32).
 const headerSize = 8 + 4 + 8 + 4

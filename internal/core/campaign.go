@@ -400,7 +400,8 @@ func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
 		}
 		return
 	}
-	if _, seen := c.stats.Bugs[id]; seen {
+	key := BugKey{ID: id, Indicator: a.Indicator, Kind: a.Kind}
+	if _, seen := c.stats.Bugs[key]; seen {
 		return
 	}
 	rec := &BugRecord{
@@ -413,7 +414,7 @@ func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
 			rec.Minimized = Minimize(rep, prog, 4)
 		}
 	}
-	c.stats.Bugs[id] = rec
+	c.stats.Bugs[key] = rec
 }
 
 func (c *Campaign) countInsnMix(p *isa.Program) {

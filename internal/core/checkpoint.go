@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/bugs"
 	"repro/internal/checkpoint"
 	"repro/internal/coverage"
 	"repro/internal/kernel"
@@ -123,7 +122,7 @@ func (s *Stats) normalize() {
 		s.WatchdogTrips = make(map[string]int)
 	}
 	if s.Bugs == nil {
-		s.Bugs = make(map[bugs.ID]*BugRecord)
+		s.Bugs = make(map[BugKey]*BugRecord)
 	}
 	if s.Coverage == nil {
 		s.Coverage = coverage.NewMap()

@@ -112,7 +112,7 @@ func TestCampaignFindsAllSeededBugs(t *testing.T) {
 	}
 	want := kernel.BPFNext.DefaultBugs()
 	for id := range want {
-		if _, ok := st.Bugs[id]; !ok {
+		if !st.HasBug(id) {
 			t.Errorf("campaign missed %v", id)
 		}
 	}
@@ -143,13 +143,15 @@ func TestSanitationRequiredForIndicator1(t *testing.T) {
 	with := run(true)
 	without := run(false)
 	ind1 := func(st *Stats) int {
-		n := 0
-		for _, b := range st.Bugs {
+		// Count distinct bugs, not manifestations: one knob can surface
+		// under several oracle signatures, all sharing the indicator.
+		ids := map[bugs.ID]bool{}
+		for key, b := range st.Bugs {
 			if b.Indicator == kernel.Indicator1 {
-				n++
+				ids[key.ID] = true
 			}
 		}
-		return n
+		return len(ids)
 	}
 	if ind1(with) <= ind1(without) {
 		t.Errorf("sanitation did not improve indicator-1 detection: with=%d without=%d",
@@ -398,18 +400,18 @@ func TestMinimizedReproducers(t *testing.T) {
 		t.Fatalf("campaign found only %d bugs", len(st.Bugs))
 	}
 	checked := 0
-	for id, rec := range st.Bugs {
+	for key, rec := range st.Bugs {
 		if rec.Minimized == nil {
 			continue
 		}
 		checked++
 		if len(rec.Minimized.Insns) > len(rec.Program.Insns) {
-			t.Errorf("%v: minimized %d insns > original %d", id,
+			t.Errorf("%v: minimized %d insns > original %d", key,
 				len(rec.Minimized.Insns), len(rec.Program.Insns))
 		}
-		rep := NewReproducer(kernel.BPFNext, nil, true, id)
+		rep := NewReproducer(kernel.BPFNext, nil, true, key.ID)
 		if !rep.Check(rec.Minimized) {
-			t.Errorf("%v: minimized reproducer no longer triggers:\n%s", id, rec.Minimized)
+			t.Errorf("%v: minimized reproducer no longer triggers:\n%s", key, rec.Minimized)
 		}
 	}
 	if checked < 5 {

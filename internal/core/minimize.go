@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/bugs"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/maps"
@@ -22,18 +25,68 @@ type Reproducer struct {
 	Check func(prog *isa.Program) bool
 }
 
+// DefaultMinimizeBudget is the total wall-clock deadline Minimize applies
+// when the caller does not choose one. Each candidate removal re-verifies
+// and re-executes the program, so an unbounded fixpoint over a
+// pathological reproducer (deep worklists, slow helpers) could stall a
+// campaign's post-merge minimization phase indefinitely; the budget turns
+// that into a best-effort shrink. A package variable so harnesses
+// (bvf-bench -minimize-budget) can tune it.
+var DefaultMinimizeBudget = 30 * time.Second
+
+// MinimizeOptions bounds one minimization run.
+type MinimizeOptions struct {
+	// MaxRounds caps full back-to-front passes; <=0 selects 4.
+	MaxRounds int
+	// Budget is the total wall-clock deadline: 0 selects
+	// DefaultMinimizeBudget, negative disables the bound. On expiry the
+	// best reproducer found so far is returned — still bug-triggering,
+	// just possibly not minimal.
+	Budget time.Duration
+	// RoundBudget bounds each pass: an expired pass is abandoned and the
+	// next one starts from the shrunken prefix. <=0 leaves passes
+	// unbounded (the total Budget still applies).
+	RoundBudget time.Duration
+}
+
 // Minimize removes instructions from prog while Check keeps succeeding,
-// iterating to a fixpoint (bounded by maxRounds full passes). The result
-// always still triggers: every removal is validated before being kept.
+// iterating to a fixpoint (bounded by maxRounds full passes and the
+// default wall-clock budget). The result always still triggers: every
+// removal is validated before being kept.
 func Minimize(rep *Reproducer, prog *isa.Program, maxRounds int) *isa.Program {
+	return MinimizeOpts(rep, prog, MinimizeOptions{MaxRounds: maxRounds})
+}
+
+// MinimizeOpts is Minimize with explicit round and wall-clock bounds.
+func MinimizeOpts(rep *Reproducer, prog *isa.Program, o MinimizeOptions) *isa.Program {
 	cur := prog.Clone()
-	if maxRounds <= 0 {
-		maxRounds = 4
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 4
 	}
-	for round := 0; round < maxRounds; round++ {
+	budget := o.Budget
+	if budget == 0 {
+		budget = DefaultMinimizeBudget
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	for round := 0; round < o.MaxRounds; round++ {
+		// Lets tests inject a stall that trips the budgets deterministically.
+		faultinject.Fire("core.minimize.round")
+		var roundDeadline time.Time
+		if o.RoundBudget > 0 {
+			roundDeadline = time.Now().Add(o.RoundBudget)
+		}
 		shrunk := false
 		// Walk back to front so indices stay stable across removals.
 		for i := len(cur.Insns) - 1; i >= 0; i-- {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return cur
+			}
+			if !roundDeadline.IsZero() && !time.Now().Before(roundDeadline) {
+				break
+			}
 			cand, err := isa.RemoveAt(cur, i)
 			if err != nil || cand.Validate(isa.MaxInsns) != nil {
 				continue
@@ -50,6 +103,24 @@ func Minimize(rep *Reproducer, prog *isa.Program, maxRounds int) *isa.Program {
 	return cur
 }
 
+// NewReplayKernel builds a pristine kernel with the standard resource
+// pool and tail-call target installed — the environment reproducer checks
+// and the triage gauntlet replay programs in. The returned handles mirror
+// the pool a campaign iteration sees, in the same fd order.
+func NewReplayKernel(version kernel.Version, override bugs.Set, sanitize bool) (*kernel.Kernel, []MapHandle, error) {
+	k := kernel.New(kernel.Config{Version: version, Bugs: override, Sanitize: sanitize})
+	pool := make([]MapHandle, 0, len(poolSpecs))
+	for _, spec := range poolSpecs {
+		fd, err := k.CreateMap(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pool = append(pool, MapHandle{FD: fd, Spec: spec})
+	}
+	installTailTarget(k)
+	return k, pool, nil
+}
+
 // NewReproducer builds a Reproducer for one seeded bug against the given
 // kernel version with the standard resource pool. Each Check call uses a
 // pristine kernel so no cross-run state leaks into the verdict.
@@ -57,13 +128,10 @@ func NewReproducer(version kernel.Version, override bugs.Set, sanitize bool, bug
 	return &Reproducer{
 		Bug: bug,
 		Check: func(prog *isa.Program) bool {
-			k := kernel.New(kernel.Config{Version: version, Bugs: override, Sanitize: sanitize})
-			for _, spec := range poolSpecs {
-				if _, err := k.CreateMap(spec); err != nil {
-					return false
-				}
+			k, _, kerr := NewReplayKernel(version, override, sanitize)
+			if kerr != nil {
+				return false
 			}
-			installTailTarget(k)
 			lp, err := k.LoadProgram(prog)
 			if err != nil {
 				// Load-time bugs (the kmemdup warning) classify from

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/isa"
+)
+
+// minimizeFixture returns an always-reproducing checker and a program
+// with plenty of removable instructions, so minimization behaviour can
+// be observed without a kernel in the loop.
+func minimizeFixture() (*Reproducer, *isa.Program) {
+	rep := &Reproducer{Check: func(p *isa.Program) bool { return true }}
+	prog := &isa.Program{Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Name: "m"}
+	for i := 0; i < 24; i++ {
+		prog.Insns = append(prog.Insns, isa.Mov64Imm(isa.R0, int32(i)))
+	}
+	prog.Insns = append(prog.Insns, isa.Exit())
+	return rep, prog
+}
+
+// TestMinimizeBudget: an expired wall-clock budget returns the current
+// (still bug-triggering) program instead of continuing the fixpoint,
+// while a disabled budget shrinks all the way.
+func TestMinimizeBudget(t *testing.T) {
+	defer faultinject.Reset()
+	rep, prog := minimizeFixture()
+
+	unbounded := MinimizeOpts(rep, prog, MinimizeOptions{MaxRounds: 4, Budget: -1})
+	if len(unbounded.Insns) >= len(prog.Insns) {
+		t.Fatalf("unbounded minimization removed nothing: %d -> %d",
+			len(prog.Insns), len(unbounded.Insns))
+	}
+
+	// Each round starts by stalling longer than the whole budget, so the
+	// deadline expires before the first removal is attempted.
+	faultinject.Arm("core.minimize.round", faultinject.Fault{
+		Kind: faultinject.Delay, Every: 1, Delay: 30 * time.Millisecond,
+	})
+	bounded := MinimizeOpts(rep, prog, MinimizeOptions{MaxRounds: 4, Budget: 5 * time.Millisecond})
+	if len(bounded.Insns) != len(prog.Insns) {
+		t.Errorf("expired budget still shrank: %d -> %d", len(prog.Insns), len(bounded.Insns))
+	}
+}
+
+// TestMinimizeRoundBudget: an expired per-round budget abandons the pass
+// but later rounds (and the final result) still make progress.
+func TestMinimizeRoundBudget(t *testing.T) {
+	rep, prog := minimizeFixture()
+	got := MinimizeOpts(rep, prog, MinimizeOptions{
+		MaxRounds: 4, Budget: -1, RoundBudget: time.Nanosecond,
+	})
+	// Every pass expires immediately; the result must still be valid and
+	// no larger than the input.
+	if len(got.Insns) > len(prog.Insns) {
+		t.Errorf("round-budgeted minimization grew the program: %d -> %d",
+			len(prog.Insns), len(got.Insns))
+	}
+	if got.Validate(isa.MaxInsns) != nil {
+		t.Error("round-budgeted result does not validate")
+	}
+}

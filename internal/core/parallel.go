@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bugs"
 	"repro/internal/coverage"
 )
 
@@ -366,13 +365,13 @@ func (p *ParallelCampaign) sync() {
 // recordRound appends a global coverage-curve point and refreshes the
 // reporter counters. Runs at the barrier only.
 func (p *ParallelCampaign) recordRound() {
-	iters, accepted, nbugs := 0, 0, map[bugs.ID]bool{}
+	iters, accepted, nbugs := 0, 0, map[BugKey]bool{}
 	for _, sh := range p.shards {
 		st := sh.Stats()
 		iters += st.Iterations
 		accepted += st.Accepted
-		for id := range st.Bugs {
-			nbugs[id] = true
+		for key := range st.Bugs {
+			nbugs[key] = true
 		}
 	}
 	p.stats.Curve = append(p.stats.Curve, CurvePoint{
@@ -397,11 +396,11 @@ func (p *ParallelCampaign) mergeStats() {
 		t := *st // shallow copy: shard stats stay untouched for later rounds
 		t.Coverage = nil
 		t.Curve = nil
-		t.Bugs = make(map[bugs.ID]*BugRecord, len(st.Bugs))
-		for id, rec := range st.Bugs {
+		t.Bugs = make(map[BugKey]*BugRecord, len(st.Bugs))
+		for key, rec := range st.Bugs {
 			r := *rec
 			r.FoundAt = p.globalIteration(i, rec.FoundAt)
-			t.Bugs[id] = &r
+			t.Bugs[key] = &r
 		}
 		t.UnattributedSamples = nil
 		for _, u := range st.UnattributedSamples {
@@ -435,13 +434,15 @@ func (p *ParallelCampaign) mergeStats() {
 	// Merge replayed the (empty) curve; restore the global one.
 	merged.Curve = p.stats.Curve
 	// Deferred minimization: shards ran with NoMinimize (see
-	// NewParallelCampaign), so minimize here, once per deduplicated bug.
+	// NewParallelCampaign), so minimize here, once per deduplicated bug
+	// manifestation. The wall-clock budget keeps one pathological
+	// reproducer from stalling the whole post-merge phase.
 	if !p.cfg.NoMinimize {
-		for id, rec := range merged.Bugs {
+		for key, rec := range merged.Bugs {
 			if rec.Program == nil || rec.Minimized != nil {
 				continue
 			}
-			rep := NewReproducer(p.cfg.Version, p.cfg.OverrideBugs, p.cfg.Sanitize, id)
+			rep := NewReproducer(p.cfg.Version, p.cfg.OverrideBugs, p.cfg.Sanitize, key.ID)
 			if rep.Check(rec.Program) {
 				rec.Minimized = Minimize(rep, rec.Program, 4)
 			}

@@ -46,9 +46,9 @@ func TestParallelCampaignReproducible(t *testing.T) {
 		if ids1[i] != ids2[i] {
 			t.Fatalf("bug sets diverged: %v vs %v", ids1, ids2)
 		}
-		if a.Bugs[ids1[i]].FoundAt != b.Bugs[ids2[i]].FoundAt {
+		if a.BugByID(ids1[i]).FoundAt != b.BugByID(ids2[i]).FoundAt {
 			t.Errorf("%v found at %d vs %d", ids1[i],
-				a.Bugs[ids1[i]].FoundAt, b.Bugs[ids2[i]].FoundAt)
+				a.BugByID(ids1[i]).FoundAt, b.BugByID(ids2[i]).FoundAt)
 		}
 	}
 	if len(a.Curve) != len(b.Curve) {
@@ -84,9 +84,9 @@ func TestParallelSupersetOfSingleWorker(t *testing.T) {
 	}
 	t.Logf("single worker: %v", sst.BugIDs())
 	t.Logf("4 workers:     %v", pst.BugIDs())
-	for id := range sst.Bugs {
-		if _, ok := pst.Bugs[id]; !ok {
-			t.Errorf("4-worker campaign missed %v (found by 1 worker)", id)
+	for key := range sst.Bugs {
+		if _, ok := pst.Bugs[key]; !ok {
+			t.Errorf("4-worker campaign missed %v (found by 1 worker)", key)
 		}
 	}
 	if pst.Iterations != sst.Iterations {
@@ -221,19 +221,102 @@ func TestStatsMergeHistogramsAndCounters(t *testing.T) {
 func TestStatsMergeBugDedupKeepsEarliest(t *testing.T) {
 	a := NewStats("BVF", kernel.BPFNext)
 	b := NewStats("BVF", kernel.BPFNext)
-	a.Bugs[bugs.Bug1NullnessProp] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 900}
-	b.Bugs[bugs.Bug1NullnessProp] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 200}
-	b.Bugs[bugs.Bug4TracePrintk] = &BugRecord{ID: bugs.Bug4TracePrintk, FoundAt: 400}
+	k1 := BugKey{ID: bugs.Bug1NullnessProp, Kind: "kasan:oob"}
+	k4 := BugKey{ID: bugs.Bug4TracePrintk, Kind: "syscall-warning"}
+	a.Bugs[k1] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 900}
+	b.Bugs[k1] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 200}
+	b.Bugs[k4] = &BugRecord{ID: bugs.Bug4TracePrintk, FoundAt: 400}
 	a.Merge(b)
-	if got := a.Bugs[bugs.Bug1NullnessProp].FoundAt; got != 200 {
+	if got := a.Bugs[k1].FoundAt; got != 200 {
 		t.Errorf("dedup kept FoundAt %d, want earliest 200", got)
 	}
-	if _, ok := a.Bugs[bugs.Bug4TracePrintk]; !ok {
+	if _, ok := a.Bugs[k4]; !ok {
 		t.Error("merge dropped a bug unique to other")
 	}
 	// b is untouched.
-	if b.Bugs[bugs.Bug1NullnessProp].FoundAt != 200 || len(b.Bugs) != 2 {
+	if b.Bugs[k1].FoundAt != 200 || len(b.Bugs) != 2 {
 		t.Error("merge modified other")
+	}
+}
+
+// TestStatsMergeDistinctManifestations: one bug knob firing under two
+// oracle signatures must keep two records — the dedup key is the full
+// manifestation, not the bug ID.
+func TestStatsMergeDistinctManifestations(t *testing.T) {
+	a := NewStats("BVF", kernel.BPFNext)
+	b := NewStats("BVF", kernel.BPFNext)
+	k1 := BugKey{ID: bugs.Bug1NullnessProp, Indicator: kernel.Indicator1, Kind: "kasan:oob"}
+	k2 := BugKey{ID: bugs.Bug1NullnessProp, Indicator: kernel.Indicator2, Kind: "alu-limit-violation"}
+	a.Bugs[k1] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 10}
+	b.Bugs[k2] = &BugRecord{ID: bugs.Bug1NullnessProp, FoundAt: 20}
+	a.Merge(b)
+	if len(a.Bugs) != 2 {
+		t.Fatalf("merged Bugs has %d records, want 2 distinct manifestations", len(a.Bugs))
+	}
+	// Counting and lookup still deduplicate on the bug ID.
+	if ids := a.BugIDs(); len(ids) != 1 || ids[0] != bugs.Bug1NullnessProp {
+		t.Errorf("BugIDs = %v, want the one distinct ID", ids)
+	}
+	if got := a.BugByID(bugs.Bug1NullnessProp).FoundAt; got != 10 {
+		t.Errorf("BugByID FoundAt = %d, want the earliest (10)", got)
+	}
+	if n := a.VerifierBugsFound(); n != 1 {
+		t.Errorf("VerifierBugsFound = %d, want 1 (manifestations collapse)", n)
+	}
+}
+
+// TestParallelDeferredMinimization covers the post-merge minimization
+// path: shards run with minimization deferred, and mergeStats shrinks
+// once per deduplicated manifestation — unless NoMinimize asks it not to.
+func TestParallelDeferredMinimization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	if raceEnabled {
+		t.Skip("long deterministic campaign; concurrency is covered by TestParallelCampaignRace")
+	}
+	const budget = 16000
+	p := NewParallelCampaign(parallelConfig(2, 7))
+	st, err := p.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Bugs) == 0 {
+		t.Fatal("campaign found no bugs; cannot exercise deferred minimization")
+	}
+	minimized := 0
+	for key, rec := range st.Bugs {
+		if rec.Minimized == nil {
+			continue
+		}
+		minimized++
+		if len(rec.Minimized.Insns) > len(rec.Program.Insns) {
+			t.Errorf("%v: minimized %d insns > original %d", key,
+				len(rec.Minimized.Insns), len(rec.Program.Insns))
+		}
+		rep := NewReproducer(kernel.BPFNext, nil, true, key.ID)
+		if !rep.Check(rec.Minimized) {
+			t.Errorf("%v: deferred-minimized reproducer no longer triggers", key)
+		}
+	}
+	if minimized == 0 {
+		t.Error("post-merge deferred minimization produced no minimized reproducers")
+	}
+
+	cfg := parallelConfig(2, 7)
+	cfg.NoMinimize = true
+	p2 := NewParallelCampaign(cfg)
+	st2, err := p2.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Bugs) != len(st.Bugs) {
+		t.Errorf("NoMinimize changed the bug set: %d vs %d records", len(st2.Bugs), len(st.Bugs))
+	}
+	for key, rec := range st2.Bugs {
+		if rec.Minimized != nil {
+			t.Errorf("%v: NoMinimize campaign still minimized", key)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/bugs"
@@ -8,6 +9,23 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernel"
 )
+
+// BugKey identifies one distinct bug manifestation: the seeded bug an
+// anomaly was attributed to plus the oracle signature it fired under.
+// Keying Stats.Bugs on the full signature (rather than the bug ID alone)
+// keeps distinct manifestations of one knob — e.g. a KASAN out-of-bounds
+// and an alu-limit violation both rooted in the same range-analysis bug —
+// as separate records instead of collapsing them into whichever shard
+// happened to merge first.
+type BugKey struct {
+	ID        bugs.ID
+	Indicator kernel.Indicator
+	Kind      string
+}
+
+func (k BugKey) String() string {
+	return fmt.Sprintf("%v/%v/%s", k.ID, k.Indicator, k.Kind)
+}
 
 // BugRecord describes one discovered bug.
 type BugRecord struct {
@@ -43,8 +61,9 @@ type Stats struct {
 	Coverage *coverage.Map
 	// Curve samples coverage over iterations (Figure 6).
 	Curve []CurvePoint
-	// Bugs maps each attributed seeded bug to its first discovery.
-	Bugs map[bugs.ID]*BugRecord
+	// Bugs maps each attributed bug manifestation (bug ID + oracle
+	// signature) to its first discovery.
+	Bugs map[BugKey]*BugRecord
 	// OtherAnomalies counts unattributed anomalies by kind.
 	OtherAnomalies map[string]int
 	// UnattributedSamples keeps a few unattributed anomalies with their
@@ -98,7 +117,7 @@ func NewStats(tool string, v kernel.Version) *Stats {
 		ErrnoHist:      make(map[int]int),
 		RejectReasons:  make(map[string]int),
 		Coverage:       coverage.NewMap(),
-		Bugs:           make(map[bugs.ID]*BugRecord),
+		Bugs:           make(map[BugKey]*BugRecord),
 		OtherAnomalies: make(map[string]int),
 		InsnClassMix:   make(map[string]int),
 		WatchdogTrips:  make(map[string]int),
@@ -114,25 +133,45 @@ func (s *Stats) AcceptanceRate() float64 {
 	return float64(s.Accepted) / float64(s.Iterations)
 }
 
-// VerifierBugsFound counts discovered verifier correctness bugs.
+// VerifierBugsFound counts discovered verifier correctness bugs. Multiple
+// manifestations of one bug knob count once.
 func (s *Stats) VerifierBugsFound() int {
-	n := 0
-	for id := range s.Bugs {
-		if id.IsVerifierCorrectness() || id == bugs.CVE2022_23222 {
-			n++
+	seen := map[bugs.ID]bool{}
+	for key := range s.Bugs {
+		if key.ID.IsVerifierCorrectness() || key.ID == bugs.CVE2022_23222 {
+			seen[key.ID] = true
 		}
 	}
-	return n
+	return len(seen)
 }
 
-// BugIDs returns the discovered bug ids in ascending order.
+// BugIDs returns the distinct discovered bug ids in ascending order.
 func (s *Stats) BugIDs() []bugs.ID {
-	out := make([]bugs.ID, 0, len(s.Bugs))
-	for id := range s.Bugs {
+	seen := map[bugs.ID]bool{}
+	for key := range s.Bugs {
+		seen[key.ID] = true
+	}
+	out := make([]bugs.ID, 0, len(seen))
+	for id := range seen {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// HasBug reports whether any manifestation of the bug was discovered.
+func (s *Stats) HasBug(id bugs.ID) bool { return s.BugByID(id) != nil }
+
+// BugByID returns the earliest-found record of any manifestation of the
+// bug, or nil when it was not discovered.
+func (s *Stats) BugByID(id bugs.ID) *BugRecord {
+	var best *BugRecord
+	for key, rec := range s.Bugs {
+		if key.ID == id && (best == nil || rec.FoundAt < best.FoundAt) {
+			best = rec
+		}
+	}
+	return best
 }
 
 // Merge folds other into s: counters and histograms add, coverage maps
@@ -161,9 +200,9 @@ func (s *Stats) Merge(other *Stats) {
 		s.InsnClassMix[k] += v
 	}
 	s.Coverage.Merge(other.Coverage)
-	for id, rec := range other.Bugs {
-		if cur, ok := s.Bugs[id]; !ok || rec.FoundAt < cur.FoundAt {
-			s.Bugs[id] = rec
+	for key, rec := range other.Bugs {
+		if cur, ok := s.Bugs[key]; !ok || rec.FoundAt < cur.FoundAt {
+			s.Bugs[key] = rec
 		}
 	}
 	for _, u := range other.UnattributedSamples {

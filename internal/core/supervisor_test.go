@@ -230,9 +230,9 @@ func TestSupervisionBitIdentical(t *testing.T) {
 		t.Fatalf("bug sets diverged: %v vs %v", ids1, ids2)
 	}
 	for i := range ids1 {
-		if ids1[i] != ids2[i] || a.Bugs[ids1[i]].FoundAt != b.Bugs[ids2[i]].FoundAt {
+		if ids1[i] != ids2[i] || a.BugByID(ids1[i]).FoundAt != b.BugByID(ids2[i]).FoundAt {
 			t.Fatalf("bugs diverged: %v@%d vs %v@%d", ids1[i],
-				a.Bugs[ids1[i]].FoundAt, ids2[i], b.Bugs[ids2[i]].FoundAt)
+				a.BugByID(ids1[i]).FoundAt, ids2[i], b.BugByID(ids2[i]).FoundAt)
 		}
 	}
 	if len(a.Curve) != len(b.Curve) {

@@ -176,10 +176,12 @@ func Table2(budget, seeds int) (*Table2Result, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		for id, rec := range r.st.Bugs {
+		for key, rec := range r.st.Bugs {
+			// Table 2 counts bugs, not manifestations: fold the (possibly
+			// several) oracle signatures of one knob to the earliest hit.
 			at := rec.FoundAt + r.seed*budget
-			if prev, ok := found[r.tool][id]; !ok || at < prev {
-				found[r.tool][id] = at
+			if prev, ok := found[r.tool][key.ID]; !ok || at < prev {
+				found[r.tool][key.ID] = at
 			}
 		}
 	}

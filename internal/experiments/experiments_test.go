@@ -158,7 +158,7 @@ func TestCVEOnV515(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Bugs[bugs.CVE2022_23222]; !ok {
+	if !st.HasBug(bugs.CVE2022_23222) {
 		t.Errorf("CVE-2022-23222 not rediscovered on v5.15: %v", st.BugIDs())
 	}
 }

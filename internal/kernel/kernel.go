@@ -334,6 +334,16 @@ const (
 	Indicator2 Indicator = 2
 )
 
+func (i Indicator) String() string {
+	switch i {
+	case Indicator1:
+		return "indicator1"
+	case Indicator2:
+		return "indicator2"
+	}
+	return "indicator0"
+}
+
 // Anomaly is one oracle hit: a runtime fault of a verified program.
 type Anomaly struct {
 	Kind      string

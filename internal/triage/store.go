@@ -1,0 +1,112 @@
+package triage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/checkpoint"
+)
+
+// Store is the crash-consistent finding store: one checkpoint-enveloped
+// file per finding, rewritten (atomically, via the checkpoint package's
+// temp→fsync→rename protocol) after every gauntlet stage transition.
+// A crash at any point leaves each finding either at its previous stage
+// or its new one, never torn — so a resumed process continues the
+// gauntlet mid-finding instead of redoing or dropping work.
+//
+// An empty dir keeps the store memory-only (tests, one-shot runs).
+type Store struct {
+	dir      string
+	findings map[string]*Finding
+	damaged  []string
+}
+
+// filePrefix/fileSuffix frame finding filenames; the suffix filter also
+// keeps Open from reading the checkpoint package's ".tmp" staging files
+// a crash may have left behind.
+const (
+	filePrefix = "finding-"
+	fileSuffix = ".ckpt"
+)
+
+// Open loads every finding persisted under dir (creating it if needed).
+// Corrupt or torn files are recorded as damaged and skipped — a damaged
+// finding must surface in reports, not abort the campaign's triage.
+func Open(dir string) (*Store, error) {
+	s := &Store{findings: make(map[string]*Finding)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("triage: store: %w", err)
+	}
+	s.dir = dir
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("triage: store: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		var f Finding
+		if err := checkpoint.Load(filepath.Join(dir, name), &f); err != nil {
+			if errors.Is(err, checkpoint.ErrCorrupt) {
+				s.damaged = append(s.damaged, name)
+				continue
+			}
+			return nil, fmt.Errorf("triage: store: %w", err)
+		}
+		s.findings[f.Key()] = &f
+	}
+	sort.Strings(s.damaged)
+	return s, nil
+}
+
+// Dir returns the backing directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Put persists f (disk first, then memory — a failed write leaves the
+// in-memory view consistent with what a restarted process would load).
+func (s *Store) Put(f *Finding) error {
+	if s.dir != "" {
+		path := filepath.Join(s.dir, filePrefix+f.Key()+fileSuffix)
+		if err := checkpoint.Save(path, f); err != nil {
+			return fmt.Errorf("triage: store %s: %w", f.Key(), err)
+		}
+	}
+	s.findings[f.Key()] = f
+	return nil
+}
+
+// Get returns the finding stored under key, or nil.
+func (s *Store) Get(key string) *Finding { return s.findings[key] }
+
+// Has reports whether a finding is stored under key.
+func (s *Store) Has(key string) bool { return s.findings[key] != nil }
+
+// Len returns the number of stored findings.
+func (s *Store) Len() int { return len(s.findings) }
+
+// Sorted returns the findings in stable (key) order, so gauntlet runs
+// process them deterministically.
+func (s *Store) Sorted() []*Finding {
+	keys := make([]string, 0, len(s.findings))
+	for k := range s.findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Finding, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.findings[k])
+	}
+	return out
+}
+
+// Damaged returns the filenames Open rejected as corrupt.
+func (s *Store) Damaged() []string { return append([]string(nil), s.damaged...) }

@@ -16,18 +16,34 @@
 // faults, and unsupervised keeps the watchdog clocks unarmed).
 // -minimize-budget bounds each reproducer minimization's wall clock, so
 // one pathological reproducer cannot stall a whole benchmark sweep.
+//
+// bvf-bench -bench-json FILE runs a fixed-seed throughput benchmark
+// (instead of an experiment) and writes a machine-readable report —
+// iterations/sec, allocations per iteration, per-stage time shares, peak
+// verifier worklist — to FILE, for tracking the hot path's performance
+// across changes. -cpuprofile/-memprofile/-trace attach the standard Go
+// collectors to either mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/prof"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred cleanup (profile flushing)
+// survives every exit path.
+func run() int {
 	var (
 		exp       = flag.String("exp", "all", "experiment: table2, fig6, table3, acceptance, overhead, ablation, all")
 		budget    = flag.Int("budget", 0, "iteration budget (0 = per-experiment default)")
@@ -38,14 +54,31 @@ func main() {
 		supervise = flag.Bool("supervise", false, "run experiment campaigns under the self-healing supervisor")
 		minBudget = flag.Duration("minimize-budget", core.DefaultMinimizeBudget,
 			"wall-clock budget per reproducer minimization (negative disables the bound)")
+		benchJSON = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, perr := profFlags.Start()
+	defer stopProf()
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", perr)
+		return 1
+	}
 	experiments.SetCampaignWorkers(*workers)
 	if *supervise {
 		experiments.SetSupervision(core.SupervisorConfig{Enabled: true})
 	}
 	if *minBudget != 0 {
 		core.DefaultMinimizeBudget = *minBudget
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *budget); err != nil {
+			fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	pick := func(def int) int {
@@ -55,7 +88,7 @@ func main() {
 		return def
 	}
 
-	run := func(name string) {
+	runExp := func(name string) {
 		switch name {
 		case "table2":
 			res, err := experiments.Table2(pick(120000), *seeds)
@@ -90,11 +123,85 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2", "fig6", "acceptance", "overhead", "ablation"} {
-			run(name)
+			runExp(name)
 		}
-		return
+		return 0
 	}
-	run(*exp)
+	runExp(*exp)
+	return 0
+}
+
+// BenchReport is the -bench-json output: one fixed-seed campaign's
+// throughput and allocation profile, comparable across code changes.
+type BenchReport struct {
+	Tool          string             `json:"tool"`
+	Version       string             `json:"version"`
+	Seed          int64              `json:"seed"`
+	Iterations    int                `json:"iterations"`
+	Seconds       float64            `json:"seconds"`
+	ItersPerSec   float64            `json:"iters_per_sec"`
+	AllocsPerIter float64            `json:"allocs_per_iter"`
+	BytesPerIter  float64            `json:"bytes_per_iter"`
+	PeakWorklist  int                `json:"peak_worklist"`
+	Accepted      int                `json:"accepted"`
+	CoverageSites int                `json:"coverage_sites"`
+	Bugs          int                `json:"bugs"`
+	StageSeconds  map[string]float64 `json:"stage_seconds"`
+}
+
+// runBenchJSON runs the fixed-seed throughput benchmark — the golden
+// single-shard campaign configuration on seed 7 — and writes the report
+// to path. Allocations are measured as the runtime's Mallocs/TotalAlloc
+// delta across the campaign, so the number covers the whole pipeline
+// (generate, verify, sanitize, execute, triage), not just the verifier.
+func runBenchJSON(path string, budget int) error {
+	iters := budget
+	if iters <= 0 {
+		iters = 3000
+	}
+	c := core.NewCampaign(core.CampaignConfig{
+		Source: core.BVFSource(true), Version: kernel.BPFNext,
+		Sanitize: true, Seed: 7, NoMinimize: true,
+	})
+	var before, after goruntime.MemStats
+	goruntime.GC()
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	st, err := c.Run(iters)
+	elapsed := time.Since(start)
+	goruntime.ReadMemStats(&after)
+	if err != nil {
+		return err
+	}
+	rep := BenchReport{
+		Tool:          st.Tool,
+		Version:       st.Version.String(),
+		Seed:          7,
+		Iterations:    st.Iterations,
+		Seconds:       elapsed.Seconds(),
+		ItersPerSec:   float64(st.Iterations) / elapsed.Seconds(),
+		AllocsPerIter: float64(after.Mallocs-before.Mallocs) / float64(st.Iterations),
+		BytesPerIter:  float64(after.TotalAlloc-before.TotalAlloc) / float64(st.Iterations),
+		PeakWorklist:  st.PeakWorklist,
+		Accepted:      st.Accepted,
+		CoverageSites: st.Coverage.Count(),
+		Bugs:          len(st.Bugs),
+		StageSeconds:  make(map[string]float64, len(st.StageNanos)),
+	}
+	for stage, ns := range st.StageNanos {
+		rep.StageSeconds[stage] = time.Duration(ns).Seconds()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d iterations in %.2fs  %.0f iters/sec  %.0f allocs/iter  peak worklist %d  -> %s\n",
+		rep.Iterations, rep.Seconds, rep.ItersPerSec, rep.AllocsPerIter, rep.PeakWorklist, path)
+	return nil
 }
 
 func fail(err error) {

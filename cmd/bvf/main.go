@@ -9,6 +9,7 @@
 //	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
 //	    [-supervise] [-max-restarts N] [-watchdog D]
 //	    [-triage] [-findings-dir DIR]
+//	    [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // The campaign is sharded across -workers parallel fuzzing instances
 // (default: all CPUs), each with its own simulated kernel, RNG and
@@ -49,10 +50,15 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/prof"
 	"repro/internal/triage"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred cleanup (profile flushing)
+// survives every exit path.
+func run() int {
 	var (
 		versionFlag = flag.String("version", "bpf-next", "kernel version: v5.15, v6.1 or bpf-next")
 		iters       = flag.Int("iters", 100000, "fuzzing iterations (total target; resumed runs do the remainder)")
@@ -72,7 +78,15 @@ func main() {
 		doTriage    = flag.Bool("triage", true, "run every finding through the validation gauntlet")
 		findingsDir = flag.String("findings-dir", "", "directory for the crash-safe finding store (empty: in-memory)")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, perr := profFlags.Start()
+	defer stopProf()
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "bvf: %v\n", perr)
+		return 1
+	}
 
 	var version kernel.Version
 	switch *versionFlag {
@@ -84,7 +98,7 @@ func main() {
 		version = kernel.BPFNext
 	default:
 		fmt.Fprintf(os.Stderr, "bvf: unknown version %q\n", *versionFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	// A resumed campaign must be rebuilt with the snapshot's identity:
@@ -94,13 +108,13 @@ func main() {
 	if *resume {
 		if *ckptPath == "" {
 			fmt.Fprintln(os.Stderr, "bvf: -resume requires -checkpoint")
-			os.Exit(2)
+			return 2
 		}
 		var err error
 		snap, err = core.LoadSnapshot(*ckptPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bvf: resume: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		*seed = snap.Seed
 		*workers = snap.Workers
@@ -120,7 +134,7 @@ func main() {
 		src, sanitize, mutate = baseline.Buzz{Mode: baseline.BuzzRandom}, false, -1
 	default:
 		fmt.Fprintf(os.Stderr, "bvf: unknown tool %q\n", *tool)
-		os.Exit(2)
+		return 2
 	}
 
 	runIters := *iters
@@ -132,7 +146,7 @@ func main() {
 			// the restored statistics) and fall through to the gauntlet.
 			if !*doTriage {
 				fmt.Fprintf(os.Stderr, "bvf: checkpoint already has %d iterations (target %d), nothing to do\n", done, runIters)
-				os.Exit(0)
+				return 0
 			}
 			runIters = 0
 			fmt.Printf("bvf: resuming from %s: %d iterations done, continuing triage\n", *ckptPath, done)
@@ -164,7 +178,7 @@ func main() {
 	if snap != nil {
 		if err := c.Resume(snap); err != nil {
 			fmt.Fprintf(os.Stderr, "bvf: resume: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -185,7 +199,7 @@ func main() {
 		// below before exiting nonzero.
 		fmt.Fprintf(os.Stderr, "bvf: %v\n", err)
 		if st == nil {
-			os.Exit(1)
+			return 1
 		}
 	}
 	elapsed := time.Since(start)
@@ -246,12 +260,13 @@ func main() {
 				note = fmt.Sprintf(" (finding store %s is crash-safe; rerun with -resume to continue the gauntlet)", *findingsDir)
 			}
 			fmt.Fprintf(os.Stderr, "bvf: triage: %v%s\n", terr, note)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if err != nil && !stopped {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runGauntlet validates the campaign's findings: replay, cross-config

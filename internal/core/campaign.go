@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/faultinject"
@@ -78,6 +79,11 @@ type CampaignConfig struct {
 	// iteration. ParallelCampaign uses it to feed the live progress
 	// reporter; the callback must be cheap and concurrency-safe.
 	OnIteration func()
+	// OnStage, when non-nil, is invoked with each pipeline stage's
+	// wall-clock duration as it completes ("gen", "verify", "exec",
+	// "triage"). ParallelCampaign uses it to aggregate live stage shares
+	// across shards; the callback must be cheap and concurrency-safe.
+	OnStage func(stage string, d time.Duration)
 	// Supervision configures panic containment and the wall-clock
 	// watchdogs. The zero value leaves every mechanism off.
 	Supervision SupervisorConfig
@@ -279,9 +285,22 @@ func (c *Campaign) runIteration(gi int) {
 	c.iteration(gi)
 }
 
+// addStage accumulates one pipeline stage's wall-clock time into
+// Stats.StageNanos and feeds the OnStage callback.
+func (c *Campaign) addStage(stage string, d time.Duration) {
+	if c.stats.StageNanos == nil {
+		c.stats.StageNanos = make(map[string]int64)
+	}
+	c.stats.StageNanos[stage] += int64(d)
+	if c.cfg.OnStage != nil {
+		c.cfg.OnStage(stage, d)
+	}
+}
+
 func (c *Campaign) iteration(i int) {
 	faultinject.Fire("core.iteration")
 	c.lastProg = nil
+	tGen := time.Now()
 	var prog *isa.Program
 	if c.cfg.MutateBias > 0 && c.corpus.Len() > 0 && c.r.Intn(256) < c.cfg.MutateBias {
 		prog = Mutate(c.r, c.corpus.Pick(c.r))
@@ -290,10 +309,16 @@ func (c *Campaign) iteration(i int) {
 	}
 	c.lastProg = prog
 	c.countInsnMix(prog)
+	tVerify := time.Now()
+	c.addStage("gen", tVerify.Sub(tGen))
 
 	covBefore := c.stats.Coverage.Count()
 	lp, err := c.k.LoadProgram(prog)
 	newCov := c.stats.Coverage.Count() - covBefore
+	c.addStage("verify", time.Since(tVerify))
+	if lp != nil && lp.Res != nil && lp.Res.PeakStates > c.stats.PeakWorklist {
+		c.stats.PeakWorklist = lp.Res.PeakStates
+	}
 
 	if err != nil {
 		var te *verifier.TimeoutError
@@ -320,6 +345,12 @@ func (c *Campaign) iteration(i int) {
 		c.addNovel(prog, newCov)
 	}
 
+	// Triage (recordAnomaly) self-times into the "triage" stage, so the
+	// exec stage is the wall clock over the run loop minus whatever triage
+	// accrued inside it — minimization of a fresh finding must not be
+	// booked as execution time.
+	tExec := time.Now()
+	triBefore := c.stats.StageNanos["triage"]
 	for run := 0; run < c.cfg.RunsPerProgram; run++ {
 		out := c.k.Run(lp)
 		var we *runtime.WatchdogError
@@ -333,6 +364,8 @@ func (c *Campaign) iteration(i int) {
 		}
 	}
 	c.postRunSyscalls(i, lp, prog)
+	triDelta := c.stats.StageNanos["triage"] - triBefore
+	c.addStage("exec", time.Since(tExec)-time.Duration(triDelta))
 }
 
 // recordWatchdog counts a wall-clock watchdog trip and keeps the program
@@ -381,6 +414,7 @@ func (c *Campaign) postRunSyscalls(i int, lp *kernel.LoadedProg, prog *isa.Progr
 }
 
 func (c *Campaign) recordReject(err error) {
+	defer func(t0 time.Time) { c.addStage("triage", time.Since(t0)) }(time.Now())
 	errno, word := rejectInfo(err)
 	c.stats.ErrnoHist[errno]++
 	if word != "" {
@@ -389,6 +423,7 @@ func (c *Campaign) recordReject(err error) {
 }
 
 func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
+	defer func(t0 time.Time) { c.addStage("triage", time.Since(t0)) }(time.Now())
 	id := c.k.Triage(a, prog)
 	if id == 0 {
 		c.stats.OtherAnomalies[a.Kind]++

@@ -377,7 +377,10 @@ func BenchmarkGenerate(b *testing.B) {
 }
 
 func BenchmarkCampaignIteration(b *testing.B) {
-	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 2})
+	// NoMinimize keeps the numbers comparable: minimization runs once per
+	// discovered bug regardless of b.N, which would dominate short runs.
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 2, NoMinimize: true})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := c.Run(b.N); err != nil {
 		b.Fatal(err)

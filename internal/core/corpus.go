@@ -111,7 +111,7 @@ func (c *Corpus) Import(entries []CorpusEntry) {
 func rejectInfo(err error) (errno int, word string) {
 	var ve *verifier.Error
 	if errors.As(err, &ve) {
-		return ve.Errno, firstWord(ve.Msg)
+		return ve.Errno, firstWord(ve.Message())
 	}
 	var sb *kernel.SyscallBugError
 	if errors.As(err, &sb) {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// goldenFingerprint reduces one campaign's results to a comparable,
+// order-independent fingerprint: verdict counters, the coverage site-set
+// signature, every bug manifestation with its discovery iteration, and
+// the rejection histograms.
+type goldenFingerprint struct {
+	Accepted    int
+	CovCount    int
+	CovSig      uint64
+	Corpus      int
+	Errno       map[int]int
+	Bugs        []string
+	RejectWords []string
+}
+
+func fingerprintStats(st *Stats) goldenFingerprint {
+	fp := goldenFingerprint{
+		Accepted: st.Accepted,
+		CovCount: st.Coverage.Count(),
+		CovSig:   st.Coverage.Signature(),
+		Corpus:   st.CorpusSize,
+		Errno:    st.ErrnoHist,
+	}
+	for k, rec := range st.Bugs {
+		fp.Bugs = append(fp.Bugs, fmt.Sprintf("%s@%d", k, rec.FoundAt))
+	}
+	sort.Strings(fp.Bugs)
+	for w, n := range st.RejectReasons {
+		fp.RejectWords = append(fp.RejectWords, fmt.Sprintf("%s:%d", w, n))
+	}
+	sort.Strings(fp.RejectWords)
+	return fp
+}
+
+func goldenCampaign() *Campaign {
+	return NewCampaign(CampaignConfig{
+		Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true,
+		Seed: 7, NoMinimize: true,
+	})
+}
+
+// TestSeededCampaignDeterminism pins the golden fixed-seed campaign
+// fingerprint. The hot-path optimizations (state pooling,
+// fingerprint-gated pruning, the unsynchronized coverage fast path, lazy
+// rejection errors) are required to be bit-identical rewrites — any
+// drift in verdicts, findings, discovery iterations, coverage site sets
+// or rejection reasons fails here. A second run of the same seed must
+// also reproduce the first run exactly.
+func TestSeededCampaignDeterminism(t *testing.T) {
+	st, err := goldenCampaign().Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprintStats(st)
+
+	want := goldenFingerprint{
+		Accepted: 1410,
+		CovCount: 251,
+		CovSig:   0x91f593a4f04e561f,
+		Corpus:   134,
+		Errno:    map[int]int{13: 1497, 22: 93},
+		Bugs: []string{
+			"bug1-nullness-propagation/indicator1/kasan:null-ptr-deref@440",
+			"bug1-nullness-propagation/indicator1/kasan:slab-out-of-bounds@230",
+			"bug10-irq-work-queue/indicator2/lockdep:possible circular locking dependency detected@45",
+			"bug11-xdp-device-prog/indicator0/xdp-env@57",
+			"bug2-task-struct-access/indicator1/kasan:slab-out-of-bounds@755",
+			"bug4-trace-printk-attach/indicator2/lockdep:possible recursive locking detected@207",
+			"bug5-contention-begin-attach/indicator2/trace-recursion@197",
+			"bug6-send-signal-check/indicator2/kernel-panic@685",
+			"bug7-dispatcher-sync/indicator1/kasan:null-ptr-deref@128",
+			"bug8-kmemdup-limit/indicator0/syscall-warning@240",
+			"bug9-bucket-iteration/indicator1/kasan:slab-out-of-bounds@146",
+		},
+		RejectWords: []string{
+			"R0:150", "R1:63", "R2:3", "R3:5", "R5:71", "R6:164", "R7:134",
+			"R8:116", "R9:163", "btf::27", "helper:469", "invalid:175",
+			"kmemdup:20", "math:6", "same:7", "value:17",
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("campaign fingerprint drifted from golden:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Same seed, second campaign object: identical in every compared
+	// dimension, including the coverage site-set signature.
+	st2, err := goldenCampaign().Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 := fingerprintStats(st2); !reflect.DeepEqual(got2, got) {
+		t.Errorf("same seed, different results:\nfirst  %+v\nsecond %+v", got, got2)
+	}
+}

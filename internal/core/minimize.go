@@ -122,16 +122,26 @@ func NewReplayKernel(version kernel.Version, override bugs.Set, sanitize bool) (
 }
 
 // NewReproducer builds a Reproducer for one seeded bug against the given
-// kernel version with the standard resource pool. Each Check call uses a
-// pristine kernel so no cross-run state leaks into the verdict.
+// kernel version with the standard resource pool. One kernel is built up
+// front and Reset between Check calls — Kernel.Reset replays the exact
+// construction sequence (fresh memory domain, maps, fds, tail-call
+// target), so every probe still sees a pristine environment without
+// paying a full kernel build per minimization candidate.
 func NewReproducer(version kernel.Version, override bugs.Set, sanitize bool, bug bugs.ID) *Reproducer {
+	k, _, kerr := NewReplayKernel(version, override, sanitize)
+	first := true
 	return &Reproducer{
 		Bug: bug,
 		Check: func(prog *isa.Program) bool {
-			k, _, kerr := NewReplayKernel(version, override, sanitize)
 			if kerr != nil {
 				return false
 			}
+			if !first {
+				if err := resetReplayKernel(k); err != nil {
+					return false
+				}
+			}
+			first = false
 			lp, err := k.LoadProgram(prog)
 			if err != nil {
 				// Load-time bugs (the kmemdup warning) classify from
@@ -150,6 +160,20 @@ func NewReproducer(version kernel.Version, override bugs.Set, sanitize bool, bug
 			return false
 		},
 	}
+}
+
+// resetReplayKernel returns a replay kernel to the state NewReplayKernel
+// left it in: pristine machine, the standard resource pool in the same fd
+// order, and the tail-call target installed.
+func resetReplayKernel(k *kernel.Kernel) error {
+	k.Reset()
+	for _, spec := range poolSpecs {
+		if _, err := k.CreateMap(spec); err != nil {
+			return err
+		}
+	}
+	installTailTarget(k)
+	return nil
 }
 
 // installTailTarget mirrors the campaign's prog-array setup so tail-call

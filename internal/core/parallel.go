@@ -80,6 +80,22 @@ type ParallelCampaign struct {
 	liveAccepted atomic.Int64
 	liveCoverage atomic.Int64
 	liveBugs     atomic.Int64
+	// liveStageNS accumulates per-stage wall-clock nanoseconds across all
+	// shards, indexed by stageIndex order (gen, verify, exec, triage).
+	liveStageNS [len(stageNames)]atomic.Int64
+}
+
+// stageNames fixes the reporter's stage order; stageIndex maps a
+// Campaign OnStage callback's stage name onto it.
+var stageNames = [...]string{"gen", "verify", "exec", "triage"}
+
+func stageIndex(stage string) int {
+	for i, n := range stageNames {
+		if n == stage {
+			return i
+		}
+	}
+	return -1
 }
 
 // NewParallelCampaign builds a sharded campaign.
@@ -111,6 +127,7 @@ func NewParallelCampaign(cfg ParallelConfig) *ParallelCampaign {
 		sc := cfg.CampaignConfig
 		sc.Seed = cfg.Seed + int64(i)
 		sc.OnIteration = func() { p.liveIters.Add(1) }
+		sc.OnStage = p.recordStage
 		// Shards skip reproducer minimization: every shard rediscovers
 		// roughly the same bug set, and minimization dominates the
 		// per-shard fixed cost (~80% measured). mergeStats minimizes
@@ -283,6 +300,7 @@ func (p *ParallelCampaign) rebuildShard(i int) {
 	sc := p.cfg.CampaignConfig
 	sc.Seed = deriveSeed(p.cfg.Seed, i, p.restarts[i])
 	sc.OnIteration = func() { p.liveIters.Add(1) }
+	sc.OnStage = p.recordStage
 	sc.NoMinimize = true
 	nc := NewCampaign(sc)
 	nc.stats = old.stats
@@ -451,6 +469,14 @@ func (p *ParallelCampaign) mergeStats() {
 	p.stats = merged
 }
 
+// recordStage folds one shard stage duration into the live reporter
+// counters (concurrency-safe; called from every shard goroutine).
+func (p *ParallelCampaign) recordStage(stage string, d time.Duration) {
+	if i := stageIndex(stage); i >= 0 {
+		p.liveStageNS[i].Add(int64(d))
+	}
+}
+
 // startReporter launches the periodic progress printer; the returned
 // function stops it. The reporter reads only atomic counters, so it is
 // race-free against running shards.
@@ -478,10 +504,23 @@ func (p *ParallelCampaign) startReporter() func() {
 				if iters > 0 {
 					acc = float64(accepted) / float64(iters)
 				}
+				var stageNS [len(stageNames)]int64
+				var totalNS int64
+				for i := range stageNS {
+					stageNS[i] = p.liveStageNS[i].Load()
+					totalNS += stageNS[i]
+				}
+				stages := ""
+				if totalNS > 0 {
+					for i, n := range stageNames {
+						stages += fmt.Sprintf(" %s %.0f%%", n,
+							100*float64(stageNS[i])/float64(totalNS))
+					}
+				}
 				fmt.Fprintf(p.cfg.Progress,
-					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d\n",
+					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d%s\n",
 					now.Sub(start).Round(time.Second), iters, rate, 100*acc,
-					p.liveCoverage.Load(), p.liveBugs.Load())
+					p.liveCoverage.Load(), p.liveBugs.Load(), stages)
 			}
 		}
 	}()

@@ -75,6 +75,14 @@ type Stats struct {
 	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
 	InsnClassMix map[string]int
 
+	// StageNanos accumulates per-stage wall-clock nanoseconds, keyed by
+	// pipeline stage ("gen", "verify", "exec", "triage"). It answers
+	// "where does an iteration's time go" without a profiler attached.
+	StageNanos map[string]int64
+	// PeakWorklist is the largest verifier exploration worklist observed
+	// across every accepted program (Result.PeakStates high-water mark).
+	PeakWorklist int
+
 	// WatchdogTrips counts wall-clock watchdog activations by stage
 	// ("verify" for worklist explosions, "exec" for runaway executions).
 	WatchdogTrips map[string]int
@@ -120,6 +128,7 @@ func NewStats(tool string, v kernel.Version) *Stats {
 		Bugs:           make(map[BugKey]*BugRecord),
 		OtherAnomalies: make(map[string]int),
 		InsnClassMix:   make(map[string]int),
+		StageNanos:     make(map[string]int64),
 		WatchdogTrips:  make(map[string]int),
 	}
 }
@@ -210,6 +219,15 @@ func (s *Stats) Merge(other *Stats) {
 			break
 		}
 		s.UnattributedSamples = append(s.UnattributedSamples, u)
+	}
+	if len(other.StageNanos) > 0 && s.StageNanos == nil {
+		s.StageNanos = make(map[string]int64)
+	}
+	for k, v := range other.StageNanos {
+		s.StageNanos[k] += v
+	}
+	if other.PeakWorklist > s.PeakWorklist {
+		s.PeakWorklist = other.PeakWorklist
 	}
 	if len(other.WatchdogTrips) > 0 && s.WatchdogTrips == nil {
 		s.WatchdogTrips = make(map[string]int)

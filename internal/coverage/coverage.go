@@ -8,7 +8,6 @@ package coverage
 
 import (
 	"errors"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -16,19 +15,38 @@ import (
 // Site is a stable identifier for one branch site in the instrumented code.
 type Site uint64
 
+// FNV-1a parameters, inlined so SiteOf never allocates a hash.Hash64.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // SiteOf derives a Site from a static location string such as
-// "check_alu:ptr+scalar". Call sites should pass compile-time constants so
-// identifiers are stable across runs.
+// "check_alu:ptr+scalar". It is an allocation-free FNV-1a over the
+// location bytes (bit-identical to hash/fnv's New64a), so hot
+// instrumentation points may call it per hit, though precomputing the
+// Site at package init is cheaper still.
 func SiteOf(loc string) Site {
-	h := fnv.New64a()
-	h.Write([]byte(loc))
-	return Site(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(loc); i++ {
+		h ^= uint64(loc[i])
+		h *= fnvPrime64
+	}
+	return Site(h)
 }
 
 // Map records the set of covered sites. A Map is safe for concurrent use.
 type Map struct {
 	mu    sync.RWMutex
 	sites map[Site]uint64 // hit counts
+
+	// Sorted-snapshot cache: Snapshot and Signature are called on every
+	// reporter tick and corpus admission, but the *site set* only changes
+	// when a Hit or Merge inserts a previously unseen site. The cache is
+	// invalidated on insertion only — count bumps on known sites keep it.
+	snapCache []Site
+	sigCache  uint64
+	sigValid  bool
 }
 
 // NewMap returns an empty coverage map.
@@ -42,8 +60,18 @@ func (m *Map) Hit(s Site) {
 		return
 	}
 	m.mu.Lock()
+	if _, known := m.sites[s]; !known {
+		m.invalidateLocked()
+	}
 	m.sites[s]++
 	m.mu.Unlock()
+}
+
+// invalidateLocked drops the sorted-snapshot cache; the caller holds the
+// write lock.
+func (m *Map) invalidateLocked() {
+	m.snapCache = nil
+	m.sigValid = false
 }
 
 // HitLoc records one execution of the site named by loc.
@@ -102,6 +130,9 @@ func (m *Map) Merge(other *Map) int {
 		}
 		m.sites[s] += n
 	}
+	if fresh > 0 {
+		m.invalidateLocked()
+	}
 	return fresh
 }
 
@@ -141,19 +172,33 @@ func (m *Map) snapshotCounts() map[Site]uint64 {
 func (m *Map) Reset() {
 	m.mu.Lock()
 	m.sites = make(map[Site]uint64)
+	m.invalidateLocked()
 	m.mu.Unlock()
 }
 
-// Snapshot returns the covered sites in deterministic (sorted) order.
+// Snapshot returns the covered sites in deterministic (sorted) order. The
+// sort is cached until the next site insertion; the returned slice is the
+// caller's to keep.
 func (m *Map) Snapshot() []Site {
-	m.mu.RLock()
-	out := make([]Site, 0, len(m.sites))
-	for s := range m.sites {
-		out = append(out, s)
-	}
-	m.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	m.mu.Lock()
+	snap := m.sortedLocked()
+	out := append([]Site(nil), snap...)
+	m.mu.Unlock()
 	return out
+}
+
+// sortedLocked returns (building if needed) the cached sorted site list;
+// the caller holds the write lock and must not retain the slice outside it.
+func (m *Map) sortedLocked() []Site {
+	if m.snapCache == nil {
+		out := make([]Site, 0, len(m.sites))
+		for s := range m.sites {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		m.snapCache = out
+	}
+	return m.snapCache
 }
 
 // MarshalBinary serializes the map as a deterministic (sorted) sequence of
@@ -189,6 +234,7 @@ func (m *Map) UnmarshalBinary(data []byte) error {
 	if len(data) == 0 {
 		m.mu.Lock()
 		m.sites = make(map[Site]uint64)
+		m.invalidateLocked()
 		m.mu.Unlock()
 		return nil
 	}
@@ -213,21 +259,29 @@ func (m *Map) UnmarshalBinary(data []byte) error {
 	}
 	m.mu.Lock()
 	m.sites = sites
+	m.invalidateLocked()
 	m.mu.Unlock()
 	return nil
 }
 
 // Signature returns a 64-bit digest of the covered-site set, used by
-// corpora to deduplicate inputs by coverage profile.
+// corpora to deduplicate inputs by coverage profile. Like Snapshot it is
+// cached until the next site insertion.
 func (m *Map) Signature() uint64 {
-	snap := m.Snapshot()
-	h := fnv.New64a()
-	var b [8]byte
-	for _, s := range snap {
-		for i := 0; i < 8; i++ {
-			b[i] = byte(uint64(s) >> (8 * i))
-		}
-		h.Write(b[:])
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sigValid {
+		return m.sigCache
 	}
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for _, s := range m.sortedLocked() {
+		v := uint64(s)
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= fnvPrime64
+		}
+	}
+	m.sigCache = h
+	m.sigValid = true
+	return h
 }

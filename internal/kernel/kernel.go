@@ -151,6 +151,19 @@ func New(cfg Config) *Kernel {
 	return k
 }
 
+// Reset restores the kernel to its freshly-constructed state — equivalent
+// to New(k.Cfg) but reusing the machine's immutable registries and this
+// kernel's identity (its ResolveProg closure stays valid). Replay and
+// minimization harnesses Reset one kernel between candidate probes instead
+// of paying a full construction per probe.
+func (k *Kernel) Reset() {
+	k.M.Reset()
+	k.progs = make(map[int32]*LoadedProg)
+	k.nextFD = 100
+	k.dispatcherProg = nil
+	k.dispatcherUpdates = 0
+}
+
 // SetProgArraySlot installs a loaded program into a prog-array map slot,
 // the bpf(2) map-update path user space uses to set up tail calls.
 func (k *Kernel) SetProgArraySlot(mapFD int32, idx uint32, progFD int32) error {

@@ -1,0 +1,90 @@
+// Package prof wires the standard Go profiling collectors (CPU profile,
+// allocation profile, execution trace) behind command-line flags shared
+// by the bvf binaries, so a slow campaign can be diagnosed with
+// `go tool pprof` / `go tool trace` without any code changes.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the standard profiling flag values.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write an allocation profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins every requested collection and returns a stop function
+// that flushes the profiles; the caller must run it before the process
+// exits (it is idempotent, so both deferring it and calling it before an
+// explicit exit is safe).
+func (f *Flags) Start() (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for _, s := range stops {
+			s()
+		}
+		stops = nil
+	}
+	if f.CPU != "" {
+		cf, cerr := os.Create(f.CPU)
+		if cerr != nil {
+			return stop, fmt.Errorf("prof: cpuprofile: %w", cerr)
+		}
+		if perr := pprof.StartCPUProfile(cf); perr != nil {
+			cf.Close()
+			return stop, fmt.Errorf("prof: cpuprofile: %w", perr)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		})
+	}
+	if f.Trace != "" {
+		tf, terr := os.Create(f.Trace)
+		if terr != nil {
+			stop()
+			return stop, fmt.Errorf("prof: trace: %w", terr)
+		}
+		if terr := trace.Start(tf); terr != nil {
+			tf.Close()
+			stop()
+			return stop, fmt.Errorf("prof: trace: %w", terr)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			tf.Close()
+		})
+	}
+	if f.Mem != "" {
+		path := f.Mem
+		stops = append(stops, func() {
+			mf, merr := os.Create(path)
+			if merr != nil {
+				fmt.Fprintf(os.Stderr, "prof: memprofile: %v\n", merr)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize the final live set
+			if werr := pprof.WriteHeapProfile(mf); werr != nil {
+				fmt.Fprintf(os.Stderr, "prof: memprofile: %v\n", werr)
+			}
+		})
+	}
+	return stop, nil
+}

@@ -55,22 +55,35 @@ type Machine struct {
 // NewMachine builds a fresh simulated kernel with the given bug knobs.
 func NewMachine(b bugs.Set) *Machine {
 	m := &Machine{
-		Dom:         kmem.NewDomain(),
-		Helpers:     helpers.NewRegistry(),
-		BTF:         btf.NewKernelRegistry(),
-		Lockdep:     lockdep.NewValidator(),
-		Trace:       trace.NewManager(),
-		Bugs:        b,
-		mapsByFD:    make(map[int32]*maps.Map),
-		mapsByAddr:  make(map[uint64]*maps.Map),
-		nextFD:      3,
-		lockClasses: make(map[string]*lockdep.Class),
-		btfVars:     make(map[btf.TypeID]*kmem.Allocation),
-		PacketLen:   64,
-		rng:         0x853c49e6748fea9b,
-		timeNS:      1,
+		Helpers: helpers.NewRegistry(),
+		BTF:     btf.NewKernelRegistry(),
+		Bugs:    b,
 	}
 	m.Helpers.Bug10Armed = b.Has(bugs.Bug10IrqWork)
+	m.Reset()
+	return m
+}
+
+// Reset restores the machine to its just-constructed state: a fresh memory
+// domain, lock and trace validators, empty map tables, and re-seeded
+// RNG/clock. The helper and BTF registries are reused — they are immutable
+// after construction (Bug10Armed depends only on the knob set, which does
+// not change). Because the kernel-variable allocations replay in the same
+// deterministic StructIDs order against a fresh domain, every address a
+// program can observe is identical to a brand-new machine's, so replay
+// harnesses may Reset one machine between probes instead of rebuilding it.
+func (m *Machine) Reset() {
+	m.Dom = kmem.NewDomain()
+	m.Lockdep = lockdep.NewValidator()
+	m.Trace = trace.NewManager()
+	m.mapsByFD = make(map[int32]*maps.Map)
+	m.mapsByAddr = make(map[uint64]*maps.Map)
+	m.nextFD = 3
+	m.lockClasses = make(map[string]*lockdep.Class)
+	m.btfVars = make(map[btf.TypeID]*kmem.Allocation)
+	m.PacketLen = 64
+	m.rng = 0x853c49e6748fea9b
+	m.timeNS = 1
 
 	// The current task and one kernel variable per known struct type,
 	// so PTR_TO_BTF_ID pointers resolve to real shadow-tracked objects.
@@ -84,7 +97,6 @@ func NewMachine(b bugs.Set) *Machine {
 	binary.LittleEndian.PutUint32(m.currentTask.Data[8:], 1000)  // pid
 	binary.LittleEndian.PutUint32(m.currentTask.Data[12:], 1000) // tgid
 	copy(m.currentTask.Data[40:], "bvf-task")
-	return m
 }
 
 // CreateMap allocates a map and returns its file descriptor.

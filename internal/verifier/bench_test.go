@@ -1,0 +1,162 @@
+package verifier
+
+import (
+	"testing"
+
+	"repro/internal/btf"
+	"repro/internal/bugs"
+	"repro/internal/coverage"
+	"repro/internal/helpers"
+	"repro/internal/isa"
+	"repro/internal/kmem"
+	"repro/internal/maps"
+)
+
+// benchKernel builds the verification environment without *testing.T
+// plumbing so benchmarks can share it with the allocation-regression
+// guard.
+type benchKernel struct {
+	reg  *helpers.Registry
+	btf  *btf.Registry
+	maps map[int32]*maps.Map
+}
+
+func newBenchKernel() *benchKernel {
+	k := &benchKernel{
+		reg:  helpers.NewRegistry(),
+		btf:  btf.NewKernelRegistry(),
+		maps: make(map[int32]*maps.Map),
+	}
+	dom := kmem.NewDomain()
+	m, err := maps.New(dom, 3, maps.Spec{
+		Type: maps.Array, KeySize: 4, ValueSize: 64, MaxEntries: 4, Name: "arr64",
+	})
+	if err != nil {
+		panic(err)
+	}
+	k.maps[3] = m
+	return k
+}
+
+func (k *benchKernel) config(cov *coverage.Map) *Config {
+	return &Config{
+		Bugs:    bugs.None(),
+		Helpers: k.reg,
+		BTF:     k.btf,
+		MapByFD: func(fd int32) *maps.Map { return k.maps[fd] },
+		Cov:     cov,
+	}
+}
+
+// hotPathProgram is the steady-state workload: a map lookup with null
+// check followed by a cascade of conditional branches over the loaded
+// scalar. Every verification forks the worklist repeatedly, records
+// prune snapshots at the joins, and prunes the redundant paths — the
+// exact shape that dominates campaign verification time.
+func hotPathProgram() *isa.Program {
+	insns := []isa.Instruction{
+		isa.LoadMapFD(isa.R9, 3),
+		isa.StoreImm(isa.SizeW, isa.R10, -4, 0),
+		isa.Mov64Reg(isa.R2, isa.R10),
+		isa.Alu64Imm(isa.ALUAdd, isa.R2, -4),
+		isa.Mov64Reg(isa.R1, isa.R9),
+		isa.Call(helpers.MapLookupElem),
+		isa.JumpImm(isa.JEQ, isa.R0, 0, 14), // null -> exit
+		isa.LoadMem(isa.SizeW, isa.R7, isa.R0, 0),
+		isa.Mov64Imm(isa.R8, 0),
+	}
+	// Branch cascade: each conditional forks, paths re-join at the next
+	// jump, and pruning collapses the state explosion.
+	for _, bound := range []int32{64, 48, 32, 16, 8} {
+		insns = append(insns,
+			isa.JumpImm(isa.JGT, isa.R7, bound, 1),
+			isa.Alu64Imm(isa.ALUAdd, isa.R8, 1),
+		)
+	}
+	insns = append(insns,
+		isa.StoreMem(isa.SizeW, isa.R0, isa.R8, 4),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	)
+	return &isa.Program{Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Insns: insns}
+}
+
+// rejectProgram explores several branches before dying on an
+// uninitialized-register read, exercising the rejection path (lazy error
+// rendering plus the log-free reject fast path).
+func rejectProgram() *isa.Program {
+	insns := []isa.Instruction{
+		isa.Mov64Imm(isa.R7, 3),
+		isa.Mov64Imm(isa.R8, 0),
+	}
+	for i := 0; i < 4; i++ {
+		insns = append(insns,
+			isa.JumpImm(isa.JSGT, isa.R7, int32(i), 1),
+			isa.Alu64Imm(isa.ALUAdd, isa.R8, 1),
+		)
+	}
+	insns = append(insns,
+		isa.Mov64Reg(isa.R0, isa.R5), // R5 never initialized -> reject
+		isa.Exit(),
+	)
+	return &isa.Program{Type: isa.ProgTypeSocketFilter, GPLCompatible: true, Insns: insns}
+}
+
+func BenchmarkVerifyHotPath(b *testing.B) {
+	k := newBenchKernel()
+	cov := coverage.NewMap()
+	cfg := k.config(cov)
+	prog := hotPathProgram()
+	if _, err := Verify(prog, cfg); err != nil {
+		b.Fatalf("hot-path program rejected: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestVerifyHotPathAllocBudget is the allocation regression guard: the
+// pooled hot path measures ~68 allocs per verification (down from 162
+// before state pooling, precomputed coverage sites and lazy rejection
+// errors). The budget leaves headroom for runtime/toolchain jitter while
+// still catching any change that reintroduces per-path allocation.
+func TestVerifyHotPathAllocBudget(t *testing.T) {
+	k := newBenchKernel()
+	cov := coverage.NewMap()
+	cfg := k.config(cov)
+	prog := hotPathProgram()
+	if _, err := Verify(prog, cfg); err != nil {
+		t.Fatalf("hot-path program rejected: %v", err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := Verify(prog, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	const budget = 100
+	if avg > budget {
+		t.Errorf("hot-path verification allocates %.1f objects/run, budget %d", avg, budget)
+	}
+	t.Logf("hot-path verification: %.1f allocs/run (budget %d)", avg, budget)
+}
+
+func BenchmarkVerifyReject(b *testing.B) {
+	k := newBenchKernel()
+	cov := coverage.NewMap()
+	cfg := k.config(cov)
+	prog := rejectProgram()
+	if _, err := Verify(prog, cfg); err == nil {
+		b.Fatal("reject program was accepted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(prog, cfg); err == nil {
+			b.Fatal("accepted")
+		}
+	}
+}

@@ -121,7 +121,7 @@ func (e *env) checkALU(st *State, i int, ins isa.Instruction) error {
 	srcPtr := src.Type.IsPointer()
 	switch {
 	case !dstPtr && !srcPtr:
-		e.cov("alu:scalar:" + aluOpName(op))
+		e.covAluScalar(op)
 		// Another explored path may use this same instruction as
 		// pointer arithmetic; its alu_limit assertion would then fire
 		// on this path's unrelated values. The kernel treats such
@@ -180,7 +180,7 @@ func sameObject(a, b *RegState) bool {
 
 func (e *env) checkMov(st *State, i int, ins isa.Instruction, is64 bool) error {
 	if isa.Src(ins.Opcode) == isa.SrcK {
-		e.cov("alu:mov_imm")
+		e.covs(siteAluMovImm)
 		v := uint64(int64(ins.Imm))
 		if !is64 {
 			v = uint64(uint32(ins.Imm))
@@ -203,13 +203,13 @@ func (e *env) checkMov(st *State, i int, ins isa.Instruction, is64 bool) error {
 			*dst = unknownScalar()
 			return nil
 		}
-		e.cov("alu:mov_reg")
+		e.covs(siteAluMovReg)
 		*dst = *src
 		return nil
 	}
 	// 32-bit move truncates; pointers become unknown scalars (the
 	// pointer value leaks, which is fine for privileged loads).
-	e.cov("alu:mov32_reg")
+	e.covs(siteAluMov32Reg)
 	if src.Type == Scalar {
 		r := *src
 		truncate32(&r)
@@ -256,7 +256,7 @@ func (e *env) checkPtrALU(st *State, i int, ins isa.Instruction, op uint8, is64 
 	}
 
 	if scalar.IsConst() {
-		e.cov("alu:ptr_const")
+		e.covs(siteAluPtrConst)
 		c := int64(scalar.ConstVal())
 		// Even a "known constant" register deserves the alu_limit
 		// assertion when it is a register operand: if the range
@@ -278,7 +278,7 @@ func (e *env) checkPtrALU(st *State, i int, ins isa.Instruction, op uint8, is64 
 	}
 
 	// Variable offset: bounds must be sane and bounded.
-	e.cov("alu:ptr_var:" + dst.Type.String())
+	e.covPtrVar(dst.Type)
 	if scalar.SMin == math.MinInt64 || scalar.SMax == math.MaxInt64 ||
 		scalar.SMin < -maxVarOff || scalar.SMax > maxVarOff {
 		return e.reject(i, EACCES, "math between %s pointer and register with unbounded min/max value is not allowed", dst.Type)

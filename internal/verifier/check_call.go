@@ -38,7 +38,7 @@ func (e *env) checkHelperCall(st *State, i int, ins isa.Instruction) error {
 		e.cov("call:unknown")
 		return e.reject(i, EINVAL, "invalid func unknown#%d", ins.Imm)
 	}
-	e.cov("call:" + h.Name)
+	e.covName(helperCallSites, "call:", h.Name)
 	if err := h.AllowedFor(e.prog.Type, e.prog.GPLCompatible); err != nil {
 		e.cov("call:gated")
 		return e.reject(i, EACCES, "%v", err)
@@ -64,7 +64,7 @@ func (e *env) checkHelperCall(st *State, i int, ins isa.Instruction) error {
 		}
 		reg := st.Reg(isa.R1 + uint8(ai))
 		argErr := func(format string, args ...interface{}) error {
-			e.cov("call:badarg:" + h.Name)
+			e.covName(helperBadArgSites, "call:badarg:", h.Name)
 			return e.reject(i, EACCES, "R%d %s", int(isa.R1)+ai, sprintf(format, args...))
 		}
 		switch at {
@@ -81,7 +81,7 @@ func (e *env) checkHelperCall(st *State, i int, ins isa.Instruction) error {
 				return argErr("type=%s expected=map_ptr", reg.Type)
 			}
 			meta.m = reg.Map
-			e.cov("call:map_arg:" + reg.Map.Type.String())
+			e.covMapArg(reg.Map.Type)
 			// Map/helper compatibility, as in check_map_func_compatibility:
 			// prog arrays are only usable by bpf_tail_call and vice versa.
 			if (reg.Map.Type == maps.ProgArray) != (h.ID == helpers.TailCall) {
@@ -321,7 +321,7 @@ func (e *env) checkKfuncCall(st *State, i int, ins isa.Instruction) error {
 		e.cov("kfunc:unknown")
 		return e.reject(i, EINVAL, "kernel function #%d is not allowed", ins.Imm)
 	}
-	e.cov("kfunc:" + k.Name)
+	e.covName(kfuncCallSites, "kfunc:", k.Name)
 	var releasedRef uint32
 	for ai, p := range k.Params {
 		reg := st.Reg(isa.R1 + uint8(ai))
@@ -420,7 +420,9 @@ func (e *env) checkPseudoCall(st *State, i int, ins isa.Instruction) error {
 		return e.reject(i, EINVAL, "call to invalid destination")
 	}
 	caller := st.Cur()
-	callee := &FuncState{FrameNo: caller.FrameNo + 1, CallSite: i}
+	callee := e.newFrame()
+	// The frame may come from the pool with stale contents: reset fully.
+	*callee = FuncState{FrameNo: caller.FrameNo + 1, CallSite: i}
 	for r := 0; r < isa.NumReg; r++ {
 		callee.Regs[r] = RegState{Type: NotInit}
 	}

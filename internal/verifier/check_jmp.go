@@ -19,8 +19,8 @@ const (
 
 // checkJmp processes one JMP/JMP32-class instruction. It returns
 // done=true when the current path ends (exit from the main frame or a
-// prune hit), plus any sibling states to explore.
-func (e *env) checkJmp(st *State, i int, ins isa.Instruction) (bool, []*State, error) {
+// prune hit), plus the taken-branch sibling state to explore, if any.
+func (e *env) checkJmp(st *State, i int, ins isa.Instruction) (bool, *State, error) {
 	op := isa.Op(ins.Opcode)
 	switch op {
 	case isa.EXIT:
@@ -31,7 +31,7 @@ func (e *env) checkJmp(st *State, i int, ins isa.Instruction) (bool, []*State, e
 		}
 		return false, nil, nil
 	case isa.JA:
-		e.cov("jmp:ja")
+		e.covs(siteJmpJA)
 		tgt := e.jumpTarget(i, int32(ins.Off))
 		if tgt < 0 {
 			return false, nil, e.reject(i, EINVAL, "jump out of range")
@@ -77,7 +77,7 @@ func (e *env) checkJmp(st *State, i int, ins isa.Instruction) (bool, []*State, e
 	}
 
 	outcome := e.branchFeasibility(op, &dst, &src, is32)
-	e.cov("jmp:" + jmpOpName(op) + ":" + outcomeName(outcome))
+	e.covJmpOutcome(op, outcome)
 
 	switch outcome {
 	case branchAlwaysTaken:
@@ -89,27 +89,28 @@ func (e *env) checkJmp(st *State, i int, ins isa.Instruction) (bool, []*State, e
 	}
 
 	// Both branches feasible: clone for the taken path, refine both.
-	taken := st.Clone()
+	taken := e.cloneState(st)
 	taken.Insn = tgt
 	st.Insn = i + 1
 
 	okTaken := e.refineBranch(taken, i, ins, true, is32, isReg)
 	okFall := e.refineBranch(st, i, ins, false, is32, isReg)
 
-	var siblings []*State
 	if okTaken && okFall {
-		siblings = []*State{taken}
-		return false, siblings, nil
+		return false, taken, nil
 	}
 	if okTaken && !okFall {
-		*st = *taken
+		// Only the taken path is live: move its contents into the
+		// worklist's state and recycle the clone's shell.
+		e.adoptState(st, taken)
 		return false, nil, nil
 	}
+	e.releaseState(taken)
 	if !okTaken && !okFall {
 		// Both branches produced impossible states: the comparison
 		// itself was infeasible; treat as fall-through with no
 		// refinement (sound, conservative).
-		e.cov("jmp:infeasible_both")
+		e.covs(siteJmpInfeasible)
 		st.Insn = i + 1
 		return false, nil, nil
 	}
@@ -620,16 +621,19 @@ func (e *env) refinePacketBranch(st *State, op uint8, dst, src *RegState, taken 
 
 // checkExit handles BPF_EXIT: returning from a subprogram frame or ending
 // the path at the main frame.
-func (e *env) checkExit(st *State, i int) (bool, []*State, error) {
+func (e *env) checkExit(st *State, i int) (bool, *State, error) {
 	if len(st.Frames) > 1 {
-		e.cov("exit:subprog")
+		e.covs(siteExitSubprog)
 		callee := st.Cur()
 		if callee.Regs[isa.R0].Type == NotInit {
 			return false, nil, e.reject(i, EACCES, "R0 !read_ok")
 		}
 		r0 := callee.Regs[isa.R0]
 		callSite := callee.CallSite
-		st.Frames = st.Frames[:len(st.Frames)-1]
+		last := len(st.Frames) - 1
+		e.releaseFrame(st.Frames[last])
+		st.Frames[last] = nil
+		st.Frames = st.Frames[:last]
 		caller := st.Cur()
 		caller.Regs[isa.R0] = r0
 		for r := isa.R1; r <= isa.R5; r++ {
@@ -638,7 +642,7 @@ func (e *env) checkExit(st *State, i int) (bool, []*State, error) {
 		st.Insn = callSite + 1
 		return false, nil, nil
 	}
-	e.cov("exit:main")
+	e.covs(siteExitMain)
 	r0 := st.Reg(isa.R0)
 	if r0.Type == NotInit {
 		return false, nil, e.reject(i, EACCES, "R0 !read_ok")

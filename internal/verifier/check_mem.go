@@ -1,8 +1,6 @@
 package verifier
 
 import (
-	"fmt"
-
 	"repro/internal/btf"
 	"repro/internal/bugs"
 	"repro/internal/isa"
@@ -65,7 +63,7 @@ func (e *env) checkMemAccess(st *State, i int, ins isa.Instruction, isStore bool
 	case PtrToMem:
 		return e.checkMemRegionAccess(st, i, ins, &reg, off, size, isStore)
 	case ConstPtrToMap, PtrToPacketEnd:
-		e.cov("mem:bad_base:" + reg.Type.String())
+		e.covBadBase(reg.Type)
 		return e.reject(i, EACCES, "R%d invalid mem access '%s'", base, reg.Type)
 	}
 	return e.reject(i, EACCES, "R%d invalid mem access", base)
@@ -74,7 +72,7 @@ func (e *env) checkMemAccess(st *State, i int, ins isa.Instruction, isStore bool
 // checkStackAccess handles fp-relative loads and stores, tracking slot
 // contents (spill/misc/zero) like check_stack_read/write.
 func (e *env) checkStackAccess(st *State, i int, ins isa.Instruction, off int64, size int, isStore bool) error {
-	e.cov(fmt.Sprintf("mem:stack:%d:%v", size, isStore))
+	e.covStackAccess(size, isStore)
 	if off >= 0 || off < -isa.StackSize || off+int64(size) > 0 {
 		e.cov("mem:stack_oob")
 		return e.reject(i, EACCES, "invalid stack off=%d size=%d", off, size)
@@ -162,7 +160,7 @@ func boundBySize(r *RegState, size int, signed bool) {
 // checkCtxAccess validates context loads/stores against the program
 // type's layout, yielding pointer registers for pointer fields.
 func (e *env) checkCtxAccess(st *State, i int, ins isa.Instruction, off int64, size int, isStore bool) error {
-	e.cov("mem:ctx")
+	e.covs(siteMemCtx)
 	layout := LayoutFor(e.prog.Type)
 	if layout == nil {
 		return e.reject(i, EACCES, "program type %s has no ctx", e.prog.Type)
@@ -176,7 +174,7 @@ func (e *env) checkCtxAccess(st *State, i int, ins isa.Instruction, off int64, s
 		e.cov("mem:ctx_badfield")
 		return e.reject(i, EACCES, "invalid bpf_context access off=%d size=%d", off, size)
 	}
-	e.cov("mem:ctx_field:" + e.prog.Type.String() + ":" + field.Name)
+	e.covCtxField(e.prog.Type, field.Name)
 	if isStore {
 		if !field.Writable || field.Kind != CtxScalar {
 			e.cov("mem:ctx_ro")
@@ -215,7 +213,7 @@ func (e *env) checkCtxAccess(st *State, i int, ins isa.Instruction, off int64, s
 // following check_map_access: fixed offset plus variable bounds must stay
 // inside the value.
 func (e *env) checkMapValueAccess(st *State, i int, ins isa.Instruction, reg *RegState, off int64, size int, isStore bool) error {
-	e.cov(fmt.Sprintf("mem:map_value:%s:%d:%v", reg.Map.Type, size, isStore))
+	e.covMapValueAccess(reg.Map.Type, size, isStore)
 	vsize := int64(reg.Map.ValueSize)
 	lo := off + reg.SMin
 	hi := off + reg.SMax
@@ -244,7 +242,7 @@ func (e *env) checkMapValueAccess(st *State, i int, ins isa.Instruction, reg *Re
 // checkPacketAccess validates packet loads following check_packet_access:
 // the access must be inside the range proven by a data_end comparison.
 func (e *env) checkPacketAccess(st *State, i int, ins isa.Instruction, reg *RegState, off int64, size int, isStore bool) error {
-	e.cov("mem:pkt")
+	e.covs(siteMemPkt)
 	if isStore && e.prog.Type == isa.ProgTypeSocketFilter {
 		e.cov("mem:pkt_ro")
 		return e.reject(i, EACCES, "cannot write into packet")
@@ -275,7 +273,7 @@ func (e *env) checkPacketAccess(st *State, i int, ins isa.Instruction, reg *RegS
 // exception-handled probe reads during fixup.
 func (e *env) checkBTFAccess(st *State, i int, ins isa.Instruction, reg *RegState, off int64, size int, isStore bool) error {
 	if s := e.cfg.BTF.Struct(reg.BTF); s != nil {
-		e.cov("mem:btf:" + s.Name)
+		e.covName(btfStructSites, "mem:btf:", s.Name)
 	} else {
 		e.cov("mem:btf")
 	}
@@ -335,7 +333,7 @@ func (e *env) checkMemRegionAccess(st *State, i int, ins isa.Instruction, reg *R
 // checkAtomic validates atomic read-modify-write ops, which both read and
 // write memory and may also write a register (fetch variants).
 func (e *env) checkAtomic(st *State, i int, ins isa.Instruction) error {
-	e.cov("mem:atomic")
+	e.covs(siteMemAtomic)
 	if err := e.checkRegRead(st, i, ins.Src); err != nil {
 		return err
 	}

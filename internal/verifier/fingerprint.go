@@ -1,0 +1,59 @@
+package verifier
+
+// Structural state fingerprints gate the pruning deep compare, mirroring
+// the kernel's hashed explored_states lists. pruneOrRecord only runs
+// stateSubsumes against recorded snapshots whose fingerprint matches the
+// candidate's, so the O(snapshots) scan per instruction visit degenerates
+// to a few u64 compares in the common no-match case.
+//
+// Soundness requirement: stateSubsumes(old, new) must imply
+// fp(old) == fp(new) — a fingerprint mismatch may only skip pairs that
+// the deep compare would have rejected anyway, never a pair it would
+// have pruned. The fingerprint therefore folds exactly the fields
+// stateSubsumes compares for *equality* (the "rigid" structure): frame
+// and ref counts, per-frame call sites, register types, and the
+// per-type identity fields (stack/ctx offsets, map identity + offset,
+// BTF ids, mem sizes). Fields compared by inclusion — scalar bounds,
+// tnums, packet ranges, MaybeNull, and every stack slot (SlotMisc
+// subsumes Zero/Spill) — are deliberately left out.
+
+const (
+	fpOffset64 = 14695981039346656037
+	fpPrime64  = 1099511628211
+)
+
+func fpMix(h, v uint64) uint64 {
+	h ^= v
+	h *= fpPrime64
+	return h
+}
+
+// stateFingerprint folds the rigid structure of s into 64 bits.
+func stateFingerprint(s *State) uint64 {
+	h := uint64(fpOffset64)
+	h = fpMix(h, uint64(len(s.Frames)))
+	h = fpMix(h, uint64(len(s.Refs)))
+	for _, f := range s.Frames {
+		h = fpMix(h, uint64(int64(f.CallSite)))
+		for r := range f.Regs {
+			reg := &f.Regs[r]
+			h = fpMix(h, uint64(reg.Type))
+			switch reg.Type {
+			case PtrToStack, PtrToCtx, PtrToPacket:
+				h = fpMix(h, uint64(int64(reg.Off)))
+			case PtrToMapValue:
+				h = fpMix(h, reg.Map.KernAddr)
+				h = fpMix(h, uint64(int64(reg.Off)))
+			case ConstPtrToMap:
+				h = fpMix(h, reg.Map.KernAddr)
+			case PtrToBTFID:
+				h = fpMix(h, uint64(int64(reg.BTF)))
+				h = fpMix(h, uint64(int64(reg.Off)))
+			case PtrToMem:
+				h = fpMix(h, uint64(int64(reg.Off)))
+				h = fpMix(h, uint64(reg.MemSize))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,111 @@
+package verifier
+
+import "sync"
+
+// Per-env free lists for State and FuncState. Path exploration clones a
+// state on every two-way branch and every prune snapshot, and discards one
+// every time a path ends or a branch turns out infeasible; recycling the
+// shells (and their Frames/Refs/Ancestry backing arrays) keeps the steady
+// state of a verification effectively allocation-free. The pools are
+// unsynchronized — an env belongs to exactly one Verify call.
+//
+// Invariant: frames are never aliased between states (cloneState deep
+// copies every frame), so releasing a state may release its frames
+// unconditionally. Snapshot clones recorded in e.visited are never
+// released; they stay live until the env is dropped.
+
+// Global backing pools: a verification's states are recycled at env
+// teardown (including the prune snapshots, which stay live for the whole
+// exploration), so the next Verify call — possibly on another goroutine —
+// starts with warm shells instead of allocating its working set again.
+var (
+	globalStatePool = sync.Pool{New: func() interface{} { return &State{} }}
+	globalFramePool = sync.Pool{New: func() interface{} { return &FuncState{} }}
+)
+
+func (e *env) newFrame() *FuncState {
+	if n := len(e.framePool); n > 0 {
+		f := e.framePool[n-1]
+		e.framePool = e.framePool[:n-1]
+		return f
+	}
+	return globalFramePool.Get().(*FuncState)
+}
+
+func (e *env) releaseFrame(f *FuncState) {
+	e.framePool = append(e.framePool, f)
+}
+
+// cloneState is State.Clone through the pools: the shell, the frame
+// structs, and the slice backing arrays are all reused when available.
+func (e *env) cloneState(s *State) *State {
+	var n *State
+	if ln := len(e.statePool); ln > 0 {
+		n = e.statePool[ln-1]
+		e.statePool = e.statePool[:ln-1]
+	} else {
+		n = globalStatePool.Get().(*State)
+	}
+	n.Frames = n.Frames[:0]
+	for _, f := range s.Frames {
+		nf := e.newFrame()
+		*nf = *f
+		n.Frames = append(n.Frames, nf)
+	}
+	n.Refs = append(n.Refs[:0], s.Refs...)
+	n.Ancestry = append(n.Ancestry[:0], s.Ancestry...)
+	n.Insn = s.Insn
+	return n
+}
+
+// releaseState recycles st and its frames. st must not be referenced
+// afterwards.
+func (e *env) releaseState(st *State) {
+	for i, f := range st.Frames {
+		e.releaseFrame(f)
+		st.Frames[i] = nil
+	}
+	st.Frames = st.Frames[:0]
+	st.Refs = st.Refs[:0]
+	st.Ancestry = st.Ancestry[:0]
+	e.statePool = append(e.statePool, st)
+}
+
+// adoptState moves donor's contents into st (the worklist's live state)
+// and recycles both st's old frames and donor's shell. It replaces the
+// pre-pooling `*st = *donor`, which would have aliased donor's frames.
+func (e *env) adoptState(st, donor *State) {
+	for i, f := range st.Frames {
+		e.releaseFrame(f)
+		st.Frames[i] = nil
+	}
+	oldFrames, oldRefs, oldAncestry := st.Frames[:0], st.Refs[:0], st.Ancestry[:0]
+	st.Frames = donor.Frames
+	st.Refs = donor.Refs
+	st.Ancestry = donor.Ancestry
+	st.Insn = donor.Insn
+	// Hand st's old backing arrays to the donor shell and recycle it.
+	donor.Frames = oldFrames
+	donor.Refs = oldRefs
+	donor.Ancestry = oldAncestry
+	e.statePool = append(e.statePool, donor)
+}
+
+// teardown recycles the env's entire state working set — the local free
+// lists plus every recorded prune snapshot — into the global pools. Called
+// (deferred) when Verify returns; nothing published in Result references a
+// State or FuncState.
+func (e *env) teardown() {
+	for _, snaps := range e.visited {
+		for _, sn := range snaps {
+			e.releaseState(sn.state)
+		}
+	}
+	for _, st := range e.statePool {
+		globalStatePool.Put(st)
+	}
+	for _, f := range e.framePool {
+		globalFramePool.Put(f)
+	}
+	e.statePool, e.framePool = nil, nil
+}

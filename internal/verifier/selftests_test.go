@@ -712,8 +712,8 @@ func TestVerifierSelftests(t *testing.T) {
 					t.Fatalf("expected rejection containing %q, got acceptance\n%s", tc.wantErr, prog)
 				}
 				if ve, ok := err.(*Error); ok && tc.wantErr != "" &&
-					!strings.Contains(ve.Msg, tc.wantErr) {
-					t.Fatalf("rejection %q does not contain %q", ve.Msg, tc.wantErr)
+					!strings.Contains(ve.Message(), tc.wantErr) {
+					t.Fatalf("rejection %q does not contain %q", ve.Message(), tc.wantErr)
 				}
 			}
 		})

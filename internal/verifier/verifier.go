@@ -28,17 +28,33 @@ const (
 // Error is a verifier rejection: the instruction it happened at, a
 // kernel-style message, and the errno the bpf() syscall would return.
 type Error struct {
-	Insn  int
+	Insn int
+	// Msg is the rendered message. Rejections constructed by env.reject
+	// leave it empty and carry the format string and arguments instead;
+	// Message renders (and caches) it on first read, so programs rejected
+	// deep inside a campaign loop never pay the fmt.Sprintf unless
+	// something actually inspects the message.
 	Msg   string
 	Errno int
 	// Log carries the verifier log up to the rejection point when the
 	// verification ran with LogLevel > 0, like the log buffer the
 	// bpf(2) syscall fills for user space.
 	Log string
+
+	format string
+	args   []interface{}
+}
+
+// Message renders the rejection message, lazily on first call.
+func (e *Error) Message() string {
+	if e.Msg == "" && e.format != "" {
+		e.Msg = fmt.Sprintf(e.format, e.args...)
+	}
+	return e.Msg
 }
 
 func (e *Error) Error() string {
-	return fmt.Sprintf("verifier: insn %d: %s (errno %d)", e.Insn, e.Msg, e.Errno)
+	return fmt.Sprintf("verifier: insn %d: %s (errno %d)", e.Insn, e.Message(), e.Errno)
 }
 
 // Config parameterizes one verification.
@@ -201,13 +217,21 @@ type env struct {
 	usedMaps      []*maps.Map
 	usedMapSet    map[*maps.Map]bool
 
+	// lcov is the per-verification coverage recorder (nil when coverage is
+	// off). It is unsynchronized; Verify flushes it into cfg.Cov exactly
+	// once, on every return path, so the shared map's lock is taken once
+	// per verification instead of once per instrumented site.
+	lcov *coverage.Local
+
+	// statePool / framePool recycle exploration states; see pool.go.
+	statePool []*State
+	framePool []*FuncState
+
 	log strings.Builder
 }
 
 func (e *env) cov(loc string) {
-	if e.cfg.Cov != nil {
-		e.cfg.Cov.HitLoc(loc)
-	}
+	e.lcov.HitLoc(loc)
 }
 
 func (e *env) logf(format string, args ...interface{}) {
@@ -232,9 +256,9 @@ func (e *env) watchdog() error {
 }
 
 func (e *env) reject(insn int, errno int, format string, args ...interface{}) error {
-	msg := fmt.Sprintf(format, args...)
-	e.cov("reject:" + firstWord(msg))
-	return &Error{Insn: insn, Msg: msg, Errno: errno, Log: e.log.String()}
+	e.cov("reject:" + rejectWord(format, args))
+	return &Error{Insn: insn, Errno: errno, Log: e.log.String(),
+		format: format, args: args}
 }
 
 func firstWord(s string) string {
@@ -244,6 +268,39 @@ func firstWord(s string) string {
 		}
 	}
 	return s
+}
+
+// rejectWord computes firstWord(fmt.Sprintf(format, args...)) without
+// rendering the whole message: only the first space-delimited token of the
+// format is formatted, and only when it contains verbs. The reject
+// coverage site therefore stays identical to the eager implementation
+// while the full message rendering is deferred to Error.Message.
+func rejectWord(format string, args []interface{}) string {
+	w := firstWord(format)
+	n := countVerbs(w)
+	if n == 0 {
+		return w
+	}
+	if n > len(args) {
+		n = len(args)
+	}
+	return firstWord(fmt.Sprintf(w, args[:n]...))
+}
+
+// countVerbs counts formatting verbs in s ("%%" is a literal percent).
+func countVerbs(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '%' {
+			i++
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // stateLine renders the live registers of the current frame in
@@ -302,6 +359,14 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		usedMapSet:    make(map[*maps.Map]bool),
 		idxOf:         make(map[int]int),
 	}
+	defer e.teardown()
+	if cfg.Cov != nil {
+		e.lcov = coverage.NewLocal()
+		// One flush — one lock acquisition on the shared map — per
+		// verification, on every return path including rejections and
+		// watchdog timeouts.
+		defer e.lcov.FlushTo(cfg.Cov)
+	}
 	if cfg.Timeout > 0 {
 		e.deadline = time.Now().Add(cfg.Timeout)
 	}
@@ -332,11 +397,16 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		st := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 		e.totalStates++
-		next, err := e.runPath(st)
+		s1, s2, err := e.runPath(st)
 		if err != nil {
 			return nil, err
 		}
-		worklist = append(worklist, next...)
+		if s1 != nil {
+			worklist = append(worklist, s1)
+		}
+		if s2 != nil {
+			worklist = append(worklist, s2)
+		}
 	}
 
 	fixed, err := e.fixup()
@@ -366,21 +436,23 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 }
 
 // runPath simulates instructions from st until the path ends (exit from
-// the main frame) or branches; branch siblings are returned for the
-// worklist.
-func (e *env) runPath(st *State) ([]*State, error) {
+// the main frame) or branches. Up to two branch siblings are returned for
+// the worklist (the taken clone, then the fall-through state), in push
+// order — returning them as plain pointers keeps the per-branch path free
+// of slice allocations.
+func (e *env) runPath(st *State) (*State, *State, error) {
 	for {
 		i := st.Insn
 		if i < 0 || i >= len(e.prog.Insns) {
-			return nil, e.reject(i, EINVAL, "jump out of range or fall-through past last insn")
+			return nil, nil, e.reject(i, EINVAL, "jump out of range or fall-through past last insn")
 		}
 		e.insnProcessed++
 		if e.insnProcessed > e.cfg.MaxInsnProcessed {
-			return nil, e.reject(i, E2BIG, "BPF program is too large: processed %d insn", e.insnProcessed)
+			return nil, nil, e.reject(i, E2BIG, "BPF program is too large: processed %d insn", e.insnProcessed)
 		}
 		if e.insnProcessed&255 == 0 {
 			if err := e.watchdog(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		ins := e.prog.Insns[i]
@@ -394,47 +466,53 @@ func (e *env) runPath(st *State) ([]*State, error) {
 		switch ins.Class() {
 		case isa.ClassALU, isa.ClassALU64:
 			if err := e.checkALU(st, i, ins); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.Insn = i + 1
 
 		case isa.ClassLD:
 			if err := e.checkLDImm(st, i, ins); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.Insn = i + 1
 
 		case isa.ClassLDX:
 			if err := e.checkMemAccess(st, i, ins, false); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.Insn = i + 1
 
 		case isa.ClassST, isa.ClassSTX:
 			if err := e.checkMemAccess(st, i, ins, true); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.Insn = i + 1
 
 		case isa.ClassJMP, isa.ClassJMP32:
-			done, siblings, err := e.checkJmp(st, i, ins)
+			done, sibling, err := e.checkJmp(st, i, ins)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if done {
-				return siblings, nil
+				// The path ended (main-frame exit or prune hit): recycle
+				// its state. done paths never return a sibling aliasing st.
+				e.releaseState(st)
+				return nil, nil, nil
 			}
-			if len(siblings) > 0 {
-				return append(siblings, st), nil
+			if sibling != nil {
+				return sibling, st, nil
 			}
 		}
 	}
 }
 
 // snapshot is one recorded exploration state used for pruning and cycle
-// detection.
+// detection. fp is the structural fingerprint of state (fingerprint.go):
+// candidates with a different fingerprint cannot be subsumed, so the deep
+// compare is skipped for them.
 type snapshot struct {
 	id    uint64
+	fp    uint64
 	state *State
 }
 
@@ -448,23 +526,30 @@ var errInfiniteLoop = errors.New("infinite loop")
 // the kernel's "infinite loop detected" — and otherwise records a snapshot
 // and returns (false, nil).
 func (e *env) pruneOrRecord(idx int, st *State) (bool, error) {
+	fp := stateFingerprint(st)
 	for _, old := range e.visited[idx] {
+		// stateSubsumes(old, new) implies fp(old) == fp(new) (the
+		// fingerprint folds only fields the deep compare requires to be
+		// equal), so a mismatch can never skip a prunable pair.
+		if old.fp != fp {
+			continue
+		}
 		if stateSubsumes(old.state, st) {
 			for _, anc := range st.Ancestry {
 				if anc == old.id {
-					e.cov("prune:loop")
+					e.covs(sitePruneLoop)
 					return false, e.reject(idx, EINVAL, "infinite loop detected at insn %d", idx)
 				}
 			}
-			e.cov("prune:hit")
+			e.covs(sitePruneHit)
 			return true, nil
 		}
 	}
 	if len(e.visited[idx]) < e.cfg.MaxStatesPerInsn {
 		e.snapCounter++
-		snap := st.Clone()
+		snap := e.cloneState(st)
 		snap.Insn = idx
-		e.visited[idx] = append(e.visited[idx], snapshot{id: e.snapCounter, state: snap})
+		e.visited[idx] = append(e.visited[idx], snapshot{id: e.snapCounter, fp: fp, state: snap})
 		st.Ancestry = append(st.Ancestry, e.snapCounter)
 	}
 	return false, nil
@@ -520,7 +605,7 @@ func (e *env) checkLDImm(st *State, i int, ins isa.Instruction) error {
 	dst := st.Reg(ins.Dst)
 	switch ins.Src {
 	case 0:
-		e.cov("ld_imm64:const")
+		e.covs(siteLdImm64Const)
 		*dst = constScalar(ins.Imm64)
 	case isa.PseudoMapFD:
 		e.cov("ld_imm64:map_fd")

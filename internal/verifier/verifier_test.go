@@ -70,8 +70,8 @@ func mustReject(t *testing.T, p *isa.Program, cfg *Config, fragment string) *Err
 	if !ok {
 		t.Fatalf("error is %T, want *Error", err)
 	}
-	if fragment != "" && !strings.Contains(verr.Msg, fragment) {
-		t.Fatalf("reject message %q does not contain %q", verr.Msg, fragment)
+	if fragment != "" && !strings.Contains(verr.Message(), fragment) {
+		t.Fatalf("reject message %q does not contain %q", verr.Message(), fragment)
 	}
 	return verr
 }
@@ -473,7 +473,7 @@ func TestUnboundedLoopRejected(t *testing.T) {
 		isa.JumpA(-2), // tight infinite loop
 	)
 	e := mustReject(t, p, cfg, "")
-	if e.Errno != E2BIG && !strings.Contains(e.Msg, "too large") {
+	if e.Errno != E2BIG && !strings.Contains(e.Message(), "too large") {
 		// Either the insn budget fires or the last-insn check; both
 		// reject, budget preferred.
 		t.Logf("rejected with: %v", e)

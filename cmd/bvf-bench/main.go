@@ -55,6 +55,7 @@ func run() int {
 		minBudget = flag.Duration("minimize-budget", core.DefaultMinimizeBudget,
 			"wall-clock budget per reproducer minimization (negative disables the bound)")
 		benchJSON = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
+		oracleFlag = flag.Bool("oracle", false, "arm the abstract-state soundness oracle in the -bench-json campaign (measures its overhead)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -74,7 +75,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *budget); err != nil {
+		if err := runBenchJSON(*benchJSON, *budget, *oracleFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", err)
 			return 1
 		}
@@ -147,6 +148,10 @@ type BenchReport struct {
 	CoverageSites int                `json:"coverage_sites"`
 	Bugs          int                `json:"bugs"`
 	StageSeconds  map[string]float64 `json:"stage_seconds"`
+	// Oracle fields are zero unless -oracle armed the soundness checker.
+	Oracle              bool `json:"oracle"`
+	SoundnessChecks     int  `json:"soundness_checks,omitempty"`
+	SoundnessViolations int  `json:"soundness_violations,omitempty"`
 }
 
 // runBenchJSON runs the fixed-seed throughput benchmark — the golden
@@ -154,14 +159,14 @@ type BenchReport struct {
 // to path. Allocations are measured as the runtime's Mallocs/TotalAlloc
 // delta across the campaign, so the number covers the whole pipeline
 // (generate, verify, sanitize, execute, triage), not just the verifier.
-func runBenchJSON(path string, budget int) error {
+func runBenchJSON(path string, budget int, oracle bool) error {
 	iters := budget
 	if iters <= 0 {
 		iters = 3000
 	}
 	c := core.NewCampaign(core.CampaignConfig{
 		Source: core.BVFSource(true), Version: kernel.BPFNext,
-		Sanitize: true, Seed: 7, NoMinimize: true,
+		Sanitize: true, Seed: 7, NoMinimize: true, Oracle: oracle,
 	})
 	var before, after goruntime.MemStats
 	goruntime.GC()
@@ -187,6 +192,10 @@ func runBenchJSON(path string, budget int) error {
 		CoverageSites: st.Coverage.Count(),
 		Bugs:          len(st.Bugs),
 		StageSeconds:  make(map[string]float64, len(st.StageNanos)),
+
+		Oracle:              oracle,
+		SoundnessChecks:     st.SoundnessChecks,
+		SoundnessViolations: st.SoundnessViolations,
 	}
 	for stage, ns := range st.StageNanos {
 		rep.StageSeconds[stage] = time.Duration(ns).Seconds()
@@ -201,6 +210,10 @@ func runBenchJSON(path string, budget int) error {
 	}
 	fmt.Printf("bench: %d iterations in %.2fs  %.0f iters/sec  %.0f allocs/iter  peak worklist %d  -> %s\n",
 		rep.Iterations, rep.Seconds, rep.ItersPerSec, rep.AllocsPerIter, rep.PeakWorklist, path)
+	if oracle {
+		fmt.Printf("bench: oracle checked %d claims, %d violation(s), %.2fs in oracle stage\n",
+			rep.SoundnessChecks, rep.SoundnessViolations, rep.StageSeconds["oracle"])
+	}
 	return nil
 }
 

@@ -8,7 +8,7 @@
 //	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
 //	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
 //	    [-supervise] [-max-restarts N] [-watchdog D]
-//	    [-triage] [-findings-dir DIR]
+//	    [-triage] [-findings-dir DIR] [-oracle]
 //	    [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // The campaign is sharded across -workers parallel fuzzing instances
@@ -77,6 +77,7 @@ func run() int {
 
 		doTriage    = flag.Bool("triage", true, "run every finding through the validation gauntlet")
 		findingsDir = flag.String("findings-dir", "", "directory for the crash-safe finding store (empty: in-memory)")
+		oracleFlag  = flag.Bool("oracle", false, "differentially check abstract verifier state against concrete execution (indicator 3)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -162,7 +163,7 @@ func run() int {
 	c := core.NewParallelCampaign(core.ParallelConfig{
 		CampaignConfig: core.CampaignConfig{
 			Source: src, Version: version, Sanitize: sanitize,
-			Seed: *seed, MutateBias: mutate,
+			Seed: *seed, MutateBias: mutate, Oracle: *oracleFlag,
 			Supervision: core.SupervisorConfig{
 				Enabled:       *supervise,
 				MaxRestarts:   *maxRst,
@@ -223,6 +224,10 @@ func run() int {
 	if len(st.WatchdogTrips) > 0 {
 		fmt.Printf("watchdog trips:   %v\n", st.WatchdogTrips)
 	}
+	if st.SoundnessChecks > 0 {
+		fmt.Printf("oracle:           %d claims checked, %d violation(s)\n",
+			st.SoundnessChecks, st.SoundnessViolations)
+	}
 	fmt.Printf("bugs found:       %d (%d verifier correctness, %d manifestations)\n\n",
 		len(st.BugIDs()), st.VerifierBugsFound(), len(st.Bugs))
 
@@ -254,7 +259,7 @@ func run() int {
 		}
 	}
 	if *doTriage && !stopped {
-		if terr := runGauntlet(st, version, sanitize, *findingsDir); terr != nil {
+		if terr := runGauntlet(st, version, sanitize, *oracleFlag, *findingsDir); terr != nil {
 			note := ""
 			if *findingsDir != "" {
 				note = fmt.Sprintf(" (finding store %s is crash-safe; rerun with -resume to continue the gauntlet)", *findingsDir)
@@ -271,13 +276,13 @@ func run() int {
 
 // runGauntlet validates the campaign's findings: replay, cross-config
 // classification, quarantine, minimization — then prints the verdicts.
-func runGauntlet(st *core.Stats, version kernel.Version, sanitize bool, dir string) error {
+func runGauntlet(st *core.Stats, version kernel.Version, sanitize, oracle bool, dir string) error {
 	store, err := triage.Open(dir)
 	if err != nil {
 		return err
 	}
 	g := triage.New(triage.Config{}, store)
-	added, err := g.Ingest(st, triage.Env{Version: version, Sanitize: sanitize})
+	added, err := g.Ingest(st, triage.Env{Version: version, Sanitize: sanitize, Oracle: oracle})
 	if err != nil {
 		return err
 	}

@@ -58,7 +58,7 @@ func main() {
 
 	// Confirm stability: the minimized program triggers the same bug on
 	// a pristine kernel.
-	rep := core.NewReproducer(kernel.BPFNext, nil, true, found.ID)
+	rep := core.NewReproducer(kernel.BPFNext, nil, true, false, found.ID)
 	if !rep.Check(found.Minimized) {
 		log.Fatal("reproducer is not stable")
 	}

@@ -73,6 +73,12 @@ type CampaignConfig struct {
 	CurveSamples int
 	// NoMinimize skips reproducer minimization on discovered bugs.
 	NoMinimize bool
+	// Oracle enables the differential abstract-state soundness checker on
+	// every kernel the campaign builds (kernel.Config.Oracle): clean runs
+	// are replayed once under the per-instruction hook and violations
+	// surface as kernel.IndicatorSoundness findings. Off by default; the
+	// golden determinism fingerprint is defined with the oracle off.
+	Oracle bool
 	// RunsPerProgram executes each accepted program this many times.
 	RunsPerProgram int
 	// OnIteration, when non-nil, is invoked after every fuzzing
@@ -173,6 +179,7 @@ func (c *Campaign) recycle() error {
 		Cov:           c.stats.Coverage,
 		VerifyTimeout: c.cfg.Supervision.verifyTimeout(),
 		ExecTimeout:   c.cfg.Supervision.execTimeout(),
+		Oracle:        c.cfg.Oracle,
 	})
 	c.pool = c.pool[:0]
 	for _, spec := range poolSpecs {
@@ -351,6 +358,7 @@ func (c *Campaign) iteration(i int) {
 	// booked as execution time.
 	tExec := time.Now()
 	triBefore := c.stats.StageNanos["triage"]
+	oChecks, oViols, oNanos := c.k.OracleChecks, c.k.OracleViolations, c.k.OracleNanos
 	for run := 0; run < c.cfg.RunsPerProgram; run++ {
 		out := c.k.Run(lp)
 		var we *runtime.WatchdogError
@@ -365,7 +373,15 @@ func (c *Campaign) iteration(i int) {
 	}
 	c.postRunSyscalls(i, lp, prog)
 	triDelta := c.stats.StageNanos["triage"] - triBefore
-	c.addStage("exec", time.Since(tExec)-time.Duration(triDelta))
+	// Oracle replays run inside kernel.Run; their wall clock is booked as
+	// a stage of its own so "exec" keeps measuring the primary runs.
+	oDelta := c.k.OracleNanos - oNanos
+	c.stats.SoundnessChecks += c.k.OracleChecks - oChecks
+	c.stats.SoundnessViolations += c.k.OracleViolations - oViols
+	if oDelta > 0 {
+		c.addStage("oracle", time.Duration(oDelta))
+	}
+	c.addStage("exec", time.Since(tExec)-time.Duration(triDelta)-time.Duration(oDelta))
 }
 
 // recordWatchdog counts a wall-clock watchdog trip and keeps the program
@@ -444,7 +460,7 @@ func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
 		FoundAt: i, Err: a.Err.Error(), Program: prog,
 	}
 	if prog != nil && !c.cfg.NoMinimize {
-		rep := NewReproducer(c.cfg.Version, c.cfg.OverrideBugs, c.cfg.Sanitize, id)
+		rep := NewReproducer(c.cfg.Version, c.cfg.OverrideBugs, c.cfg.Sanitize, c.cfg.Oracle, id)
 		if rep.Check(prog) {
 			rec.Minimized = Minimize(rep, prog, 4)
 		}

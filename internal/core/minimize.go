@@ -106,9 +106,11 @@ func MinimizeOpts(rep *Reproducer, prog *isa.Program, o MinimizeOptions) *isa.Pr
 // NewReplayKernel builds a pristine kernel with the standard resource
 // pool and tail-call target installed — the environment reproducer checks
 // and the triage gauntlet replay programs in. The returned handles mirror
-// the pool a campaign iteration sees, in the same fd order.
-func NewReplayKernel(version kernel.Version, override bugs.Set, sanitize bool) (*kernel.Kernel, []MapHandle, error) {
-	k := kernel.New(kernel.Config{Version: version, Bugs: override, Sanitize: sanitize})
+// the pool a campaign iteration sees, in the same fd order. oracle must
+// match the finding campaign's Oracle setting: soundness findings only
+// reproduce under the oracle's hooked replay.
+func NewReplayKernel(version kernel.Version, override bugs.Set, sanitize, oracle bool) (*kernel.Kernel, []MapHandle, error) {
+	k := kernel.New(kernel.Config{Version: version, Bugs: override, Sanitize: sanitize, Oracle: oracle})
 	pool := make([]MapHandle, 0, len(poolSpecs))
 	for _, spec := range poolSpecs {
 		fd, err := k.CreateMap(spec)
@@ -127,8 +129,8 @@ func NewReplayKernel(version kernel.Version, override bugs.Set, sanitize bool) (
 // construction sequence (fresh memory domain, maps, fds, tail-call
 // target), so every probe still sees a pristine environment without
 // paying a full kernel build per minimization candidate.
-func NewReproducer(version kernel.Version, override bugs.Set, sanitize bool, bug bugs.ID) *Reproducer {
-	k, _, kerr := NewReplayKernel(version, override, sanitize)
+func NewReproducer(version kernel.Version, override bugs.Set, sanitize, oracle bool, bug bugs.ID) *Reproducer {
+	k, _, kerr := NewReplayKernel(version, override, sanitize, oracle)
 	first := true
 	return &Reproducer{
 		Bug: bug,

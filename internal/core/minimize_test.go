@@ -55,7 +55,7 @@ func freshKernelReproducer(version kernel.Version, override bugs.Set, sanitize b
 	return &Reproducer{
 		Bug: bug,
 		Check: func(prog *isa.Program) bool {
-			k, _, kerr := NewReplayKernel(version, override, sanitize)
+			k, _, kerr := NewReplayKernel(version, override, sanitize, false)
 			if kerr != nil {
 				return false
 			}
@@ -115,7 +115,7 @@ func TestMinimizeVerdictsWithKernelReuse(t *testing.T) {
 	}
 	for _, key := range keys {
 		prog := st.Bugs[key].Program
-		pooled := NewReproducer(kernel.BPFNext, nil, true, key.ID)
+		pooled := NewReproducer(kernel.BPFNext, nil, true, false, key.ID)
 		fresh := freshKernelReproducer(kernel.BPFNext, nil, true, key.ID)
 		mismatches := 0
 		// Shadow every pooled verdict with the fresh-kernel reference so

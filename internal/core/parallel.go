@@ -460,7 +460,7 @@ func (p *ParallelCampaign) mergeStats() {
 			if rec.Program == nil || rec.Minimized != nil {
 				continue
 			}
-			rep := NewReproducer(p.cfg.Version, p.cfg.OverrideBugs, p.cfg.Sanitize, key.ID)
+			rep := NewReproducer(p.cfg.Version, p.cfg.OverrideBugs, p.cfg.Sanitize, p.cfg.Oracle, key.ID)
 			if rep.Check(rec.Program) {
 				rec.Minimized = Minimize(rep, rec.Program, 4)
 			}

@@ -294,7 +294,7 @@ func TestParallelDeferredMinimization(t *testing.T) {
 			t.Errorf("%v: minimized %d insns > original %d", key,
 				len(rec.Minimized.Insns), len(rec.Program.Insns))
 		}
-		rep := NewReproducer(kernel.BPFNext, nil, true, key.ID)
+		rep := NewReproducer(kernel.BPFNext, nil, true, false, key.ID)
 		if !rep.Check(rec.Minimized) {
 			t.Errorf("%v: deferred-minimized reproducer no longer triggers", key)
 		}

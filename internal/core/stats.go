@@ -83,6 +83,13 @@ type Stats struct {
 	// across every accepted program (Result.PeakStates high-water mark).
 	PeakWorklist int
 
+	// SoundnessChecks counts (instruction, register) claims the abstract-
+	// state oracle asserted across all oracle replays (CampaignConfig.Oracle
+	// only; oracle replay time lands in StageNanos["oracle"]).
+	SoundnessChecks int
+	// SoundnessViolations counts oracle replays that hit a violation.
+	SoundnessViolations int
+
 	// WatchdogTrips counts wall-clock watchdog activations by stage
 	// ("verify" for worklist explosions, "exec" for runaway executions).
 	WatchdogTrips map[string]int
@@ -229,6 +236,8 @@ func (s *Stats) Merge(other *Stats) {
 	if other.PeakWorklist > s.PeakWorklist {
 		s.PeakWorklist = other.PeakWorklist
 	}
+	s.SoundnessChecks += other.SoundnessChecks
+	s.SoundnessViolations += other.SoundnessViolations
 	if len(other.WatchdogTrips) > 0 && s.WatchdogTrips == nil {
 		s.WatchdogTrips = make(map[string]int)
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/kmem"
 	"repro/internal/lockdep"
 	"repro/internal/maps"
+	"repro/internal/oracle"
 	"repro/internal/runtime"
 	"repro/internal/sanitizer"
 	"repro/internal/trace"
@@ -96,6 +97,13 @@ type Config struct {
 	// ExecTimeout, when positive, arms a wall-clock watchdog on each
 	// program execution; a timed-out run carries *runtime.WatchdogError.
 	ExecTimeout time.Duration
+	// Oracle enables the differential abstract-state soundness checker:
+	// verification records the per-instruction joined abstract state
+	// (verifier.Config.RecordStates) and every clean Run is replayed once
+	// with internal/oracle's per-instruction hook asserting the concrete
+	// registers against it. Off by default — recording and the extra
+	// execution are not part of the zero-alloc hot path.
+	Oracle bool
 }
 
 // Kernel is one simulated kernel instance.
@@ -108,6 +116,13 @@ type Kernel struct {
 
 	dispatcherProg    *LoadedProg
 	dispatcherUpdates int
+
+	// Oracle counters (Config.Oracle only): claims asserted, violations
+	// found, and wall-clock nanoseconds spent in oracle replays. Campaigns
+	// read these as per-iteration deltas for stats and stage timing.
+	OracleChecks     int
+	OracleViolations int
+	OracleNanos      int64
 }
 
 // LoadedProg is a successfully verified (and possibly sanitized) program.
@@ -197,6 +212,7 @@ func (k *Kernel) VerifierConfig() *verifier.Config {
 		MaxInsnProcessed: k.Cfg.VerifierBudget,
 		DisableKfuncs:    !k.Cfg.Version.HasKfuncs(),
 		Timeout:          k.Cfg.VerifyTimeout,
+		RecordStates:     k.Cfg.Oracle,
 	}
 }
 
@@ -239,8 +255,36 @@ func (k *Kernel) LoadProgram(p *isa.Program) (*LoadedProg, error) {
 
 // Run executes a loaded program once. Programs with an AttachTo hook are
 // attached to the tracepoint, fired, and detached; others run directly.
-// The returned outcome's Err carries any fault.
+// The returned outcome's Err carries any fault. With Config.Oracle, a
+// clean run is followed by one oracle-hooked replay of the verified
+// (uninstrumented) program — the sanitizer shifts instruction indices,
+// the state table's indices refer to the verified program — and a
+// soundness violation replaces the outcome's Err.
 func (k *Kernel) Run(lp *LoadedProg) *runtime.ExecOutcome {
+	out := k.runOnce(lp)
+	if !k.Cfg.Oracle || out.Err != nil || lp.Res == nil || lp.Res.States == nil {
+		return out
+	}
+	start := time.Now()
+	k.M.Lockdep.Reset()
+	x := runtime.NewExec(k.M, lp.Verified)
+	if k.Cfg.ExecTimeout > 0 {
+		x.SetWatchdog(k.Cfg.ExecTimeout)
+	}
+	ores := oracle.Run(x, lp.Res.States)
+	k.OracleChecks += ores.Checks
+	k.OracleNanos += time.Since(start).Nanoseconds()
+	if ores.Violation != nil {
+		k.OracleViolations++
+		// Keep the primary run's R0/steps; only the verdict changes.
+		out = &runtime.ExecOutcome{R0: out.R0, Steps: out.Steps, Err: ores.Violation}
+	}
+	// Non-violation faults in the replay (e.g. a watchdog trip) are
+	// ignored: the primary run is the verdict of record.
+	return out
+}
+
+func (k *Kernel) runOnce(lp *LoadedProg) *runtime.ExecOutcome {
 	k.M.Lockdep.Reset()
 	if tp := lp.Exec.AttachTo; tp != "" && k.M.Trace.Exists(tp) {
 		var last *runtime.ExecOutcome
@@ -345,6 +389,11 @@ const (
 	// Indicator2 is a fault inside a kernel routine the program invoked
 	// (§3.2).
 	Indicator2 Indicator = 2
+	// IndicatorSoundness is a differential abstract-state violation: a
+	// concrete register value escaped the verifier's joined claim during
+	// an oracle replay (this repository's extension — the analysis itself
+	// was unsound, whether or not a bad access followed this run).
+	IndicatorSoundness Indicator = 3
 )
 
 func (i Indicator) String() string {
@@ -353,6 +402,8 @@ func (i Indicator) String() string {
 		return "indicator1"
 	case Indicator2:
 		return "indicator2"
+	case IndicatorSoundness:
+		return "indicator3"
 	}
 	return "indicator0"
 }
@@ -402,6 +453,10 @@ func Classify(err error) *Anomaly {
 	var rv *runtime.RangeViolationError
 	if errors.As(err, &rv) {
 		return &Anomaly{Kind: "alu-limit-violation", Indicator: Indicator1, Err: err}
+	}
+	var sv *oracle.Violation
+	if errors.As(err, &sv) {
+		return &Anomaly{Kind: "soundness:" + sv.Check, Indicator: IndicatorSoundness, Err: err}
 	}
 	var lv *lockdep.Violation
 	if errors.As(err, &lv) {
@@ -464,6 +519,19 @@ func (k *Kernel) Triage(a *Anomaly, prog *isa.Program) bugs.ID {
 	// different beliefs.
 	var rv *runtime.RangeViolationError
 	if errors.As(a.Err, &rv) && prog != nil && k.Cfg.Bugs.Has(bugs.Bug3KfuncBacktrack) {
+		for _, ins := range prog.Insns {
+			if ins.IsKfuncCall() {
+				return bugs.Bug3KfuncBacktrack
+			}
+		}
+	}
+	// An abstract-state soundness violation is the same divergence caught
+	// one layer earlier, and knob removal fails for the same reason: the
+	// weakened verifier still accepts the program with merely different
+	// beliefs. With Bug #3 armed and a kfunc in the program, the broken
+	// backtracking is the seeded source of collapsed scalar claims.
+	var sv *oracle.Violation
+	if errors.As(a.Err, &sv) && prog != nil && k.Cfg.Bugs.Has(bugs.Bug3KfuncBacktrack) {
 		for _, ins := range prog.Insns {
 			if ins.IsKfuncCall() {
 				return bugs.Bug3KfuncBacktrack

@@ -54,6 +54,38 @@ type Exec struct {
 
 	ctxAlloc *kmem.Allocation
 	pkt      *kmem.Allocation
+
+	// hook, when set, is invoked before every interpreted instruction.
+	hook InsnHook
+}
+
+// InsnHook observes the interpreter immediately before each instruction
+// executes: pc is the decoded instruction index and regs the live
+// register file. A non-nil error aborts the execution and becomes the
+// outcome's Err — the differential soundness oracle uses this to stop at
+// the first abstract-state violation.
+type InsnHook func(pc int, regs *[isa.NumReg]uint64) error
+
+// SetInsnHook installs the per-instruction callback (nil disables it).
+// Tail-call transfers spawn fresh executions and do not inherit the hook.
+func (x *Exec) SetInsnHook(h InsnHook) { x.hook = h }
+
+// CtxAddr returns the context buffer's base address, or 0 before the
+// context is built.
+func (x *Exec) CtxAddr() uint64 {
+	if x.ctxAlloc == nil {
+		return 0
+	}
+	return x.ctxAlloc.BaseAddr
+}
+
+// PacketAddr returns the packet buffer's base address, or 0 when the
+// program type has no packet.
+func (x *Exec) PacketAddr() uint64 {
+	if x.pkt == nil {
+		return 0
+	}
+	return x.pkt.BaseAddr
 }
 
 type rbReservation struct {
@@ -196,6 +228,11 @@ func (x *Exec) loop(pc int) (uint64, error) {
 		}
 		if x.steps&1023 == 0 {
 			if err := x.checkWatchdog(); err != nil {
+				return 0, err
+			}
+		}
+		if x.hook != nil {
+			if err := x.hook(pc, &x.regs); err != nil {
 				return 0, err
 			}
 		}

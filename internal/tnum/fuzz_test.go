@@ -1,0 +1,77 @@
+package tnum
+
+import "testing"
+
+// FuzzTnumOps checks, for fuzzer-chosen abstract operands and concrete
+// member selectors, that every binary tnum operation is a sound
+// abstraction: op(a, b) must be a member of Op(ta, tb) for all members
+// a ∈ ta, b ∈ tb. The selector words pick which unknown bits of each
+// operand are set in the concrete sample, so one fuzz input exercises
+// every operation on the same operand pair.
+func FuzzTnumOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0))
+	f.Add(^uint64(0), uint64(0), ^uint64(0), uint64(0), uint64(1), uint64(2), uint8(63))
+	f.Add(uint64(0xff00), uint64(0x00ff), uint64(0x1234), uint64(0xff), uint64(0xaa), uint64(0x55), uint8(7))
+	f.Add(uint64(1)<<63, uint64(1)<<62, uint64(3), uint64(0xf0), uint64(1)<<63, uint64(0), uint8(32))
+
+	f.Fuzz(func(t *testing.T, va, ma, vb, mb, sela, selb uint64, sh uint8) {
+		ta := Tnum{Value: va &^ ma, Mask: ma}
+		tb := Tnum{Value: vb &^ mb, Mask: mb}
+		a := ta.Value | (sela & ta.Mask)
+		b := tb.Value | (selb & tb.Mask)
+
+		binops := []struct {
+			name string
+			F    func(Tnum, Tnum) Tnum
+			f    func(x, y uint64) uint64
+		}{
+			{"Add", Add, func(x, y uint64) uint64 { return x + y }},
+			{"Sub", Sub, func(x, y uint64) uint64 { return x - y }},
+			{"And", And, func(x, y uint64) uint64 { return x & y }},
+			{"Or", Or, func(x, y uint64) uint64 { return x | y }},
+			{"Xor", Xor, func(x, y uint64) uint64 { return x ^ y }},
+			{"Mul", Mul, func(x, y uint64) uint64 { return x * y }},
+		}
+		for _, op := range binops {
+			if res := op.F(ta, tb); !res.Contains(op.f(a, b)) {
+				t.Fatalf("%s unsound: ta=%v tb=%v a=%#x b=%#x concrete=%#x abstract=%v",
+					op.name, ta, tb, a, b, op.f(a, b), res)
+			}
+		}
+
+		s := sh & 63
+		if got := ta.Lshift(s); !got.Contains(a << s) {
+			t.Fatalf("Lshift unsound: %v << %d misses %#x (abstract %v)", ta, s, a<<s, got)
+		}
+		if got := ta.Rshift(s); !got.Contains(a >> s) {
+			t.Fatalf("Rshift unsound: %v >> %d misses %#x (abstract %v)", ta, s, a>>s, got)
+		}
+		if got := ta.Arshift(s, 64); !got.Contains(uint64(int64(a) >> s)) {
+			t.Fatalf("Arshift64 unsound: %v s>> %d misses %#x (abstract %v)", ta, s, uint64(int64(a)>>s), got)
+		}
+		s32 := sh & 31
+		if got := ta.Arshift(s32, 32); !got.Contains(uint64(uint32(int32(uint32(a)) >> s32))) {
+			t.Fatalf("Arshift32 unsound: %v s>> %d misses %#x (abstract %v)",
+				ta, s32, uint64(uint32(int32(uint32(a))>>s32)), got)
+		}
+
+		for _, size := range []uint8{1, 2, 4, 8} {
+			mask := ^uint64(0)
+			if size < 8 {
+				mask = uint64(1)<<(size*8) - 1
+			}
+			if got := ta.Cast(size); !got.Contains(a & mask) {
+				t.Fatalf("Cast(%d) unsound: %v misses %#x (abstract %v)", size, ta, a&mask, got)
+			}
+		}
+		if got := ta.WithSubreg(tb); !got.Contains(a&^0xffffffff | b&0xffffffff) {
+			t.Fatalf("WithSubreg unsound: %v with %v misses %#x", ta, tb, a&^0xffffffff|b&0xffffffff)
+		}
+		if got := ta.ClearSubreg(); !got.Contains(a &^ 0xffffffff) {
+			t.Fatalf("ClearSubreg unsound: %v misses %#x", ta, a&^0xffffffff)
+		}
+		if got := Union(ta, tb); !got.Contains(a) || !got.Contains(b) {
+			t.Fatalf("Union unsound: Union(%v,%v)=%v misses %#x or %#x", ta, tb, got, a, b)
+		}
+	})
+}

@@ -24,8 +24,14 @@ var Unknown = Tnum{Value: 0, Mask: ^uint64(0)}
 func Const(v uint64) Tnum { return Tnum{Value: v} }
 
 // Range returns the tnum covering the inclusive range [min, max].
-// It mirrors the kernel's tnum_range.
+// It mirrors the kernel's tnum_range. An inverted range (min > max)
+// denotes an empty interval the caller failed to normalize; there is no
+// empty tnum, so Range answers with the sound over-approximation Unknown
+// rather than fabricating a bogus partial-bits pattern from the XOR fold.
 func Range(min, max uint64) Tnum {
+	if min > max {
+		return Unknown
+	}
 	chi := min ^ max
 	bits := fls64(chi)
 	if bits > 63 {

@@ -61,6 +61,41 @@ func TestRangeFullIsUnknown(t *testing.T) {
 	}
 }
 
+// An inverted (min > max) range is an empty interval the caller failed to
+// normalize; Range must degrade to the sound Unknown instead of returning
+// a partial-bits tnum that excludes real values.
+func TestRangeInvertedIsUnknown(t *testing.T) {
+	cases := []struct{ min, max uint64 }{
+		{1, 0}, {100, 42}, {^uint64(0), 0}, {1 << 63, 1<<63 - 1},
+	}
+	for _, c := range cases {
+		if got := Range(c.min, c.max); !got.IsUnknown() {
+			t.Errorf("Range(%#x, %#x) = %v, want unknown", c.min, c.max, got)
+		}
+	}
+}
+
+// The oracle embeds Tnum.String() in violation reports and triage matches
+// findings by exact report text, so the rendering must stay stable.
+func TestStringStable(t *testing.T) {
+	cases := []struct {
+		t    Tnum
+		want string
+	}{
+		{Const(0), "0x0"},
+		{Const(42), "0x2a"},
+		{Const(^uint64(0)), "0xffffffffffffffff"},
+		{Unknown, "(0x0; 0xffffffffffffffff)"},
+		{Tnum{Value: 0x10, Mask: 0xf}, "(0x10; 0xf)"},
+		{Range(4, 7), "(0x4; 0x3)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
 // checkBinop verifies soundness of a binary operation: for members a of ta
 // and b of tb, f(a,b) must be a member of F(ta,tb).
 func checkBinop(t *testing.T, name string, F func(Tnum, Tnum) Tnum, f func(a, b uint64) uint64) {

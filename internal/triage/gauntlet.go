@@ -251,7 +251,7 @@ func (g *Gauntlet) stageCrossConfig(f *Finding) {
 	f.Matrix = f.Matrix[:0]
 	for _, v := range kernel.AllVersions {
 		for _, san := range []bool{true, false} {
-			rep := replayOnce(Env{Version: v, Sanitize: san}, f.Raw.Key, 0, f.Raw.Program)
+			rep := replayOnce(Env{Version: v, Sanitize: san, Oracle: f.Raw.Env.Oracle}, f.Raw.Key, 0, f.Raw.Program)
 			f.Matrix = append(f.Matrix, MatrixCell{
 				Version: v, Sanitize: san,
 				Reproduced: matches(f.Raw.Key, rep), Bug: rep.Bug,
@@ -319,7 +319,7 @@ func (g *Gauntlet) stageMinimize(f *Finding) {
 		f.MinimizeNote = "no program-based reproducer; reported unminimized"
 		return
 	}
-	rep := core.NewReproducer(f.Raw.Env.Version, f.Raw.Env.Bugs, f.Raw.Env.Sanitize, f.Raw.Key.ID)
+	rep := core.NewReproducer(f.Raw.Env.Version, f.Raw.Env.Bugs, f.Raw.Env.Sanitize, f.Raw.Env.Oracle, f.Raw.Key.ID)
 	if !rep.Check(f.Raw.Program) {
 		// Dispatcher/offload-surface bugs reproduce in replayOnce but
 		// not under the plain load-and-run checker Minimize shrinks

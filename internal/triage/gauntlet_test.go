@@ -73,7 +73,7 @@ func deterministicFinding(t *testing.T) *Finding {
 		if !matches(key, replayOnce(env, key, 0, rec.Program)) {
 			continue
 		}
-		if !core.NewReproducer(env.Version, env.Bugs, env.Sanitize, key.ID).Check(rec.Program) {
+		if !core.NewReproducer(env.Version, env.Bugs, env.Sanitize, env.Oracle, key.ID).Check(rec.Program) {
 			continue
 		}
 		return f

@@ -71,7 +71,7 @@ func reportFrom(k *kernel.Kernel, a *kernel.Anomaly, prog *isa.Program) Report {
 // replayDirect loads and runs the program exactly as a campaign
 // iteration does: classify a load error, otherwise run twice.
 func replayDirect(env Env, prog *isa.Program) (Report, bool) {
-	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize)
+	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize, env.Oracle)
 	if err != nil {
 		return Report{}, false
 	}
@@ -94,7 +94,7 @@ func replayDirect(env Env, prog *isa.Program) (Report, bool) {
 // replayOffload runs an XDP program as device-offloaded (bug #11's
 // missing execution-environment check).
 func replayOffload(env Env, prog *isa.Program) (Report, bool) {
-	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize)
+	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize, env.Oracle)
 	if err != nil {
 		return Report{}, false
 	}
@@ -113,7 +113,7 @@ func replayOffload(env Env, prog *isa.Program) (Report, bool) {
 // replayDispatcher drives the XDP dispatcher into its torn-update window
 // (bug #7 fires when an execution races the third update).
 func replayDispatcher(env Env, prog *isa.Program) (Report, bool) {
-	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize)
+	k, _, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize, env.Oracle)
 	if err != nil {
 		return Report{}, false
 	}
@@ -135,7 +135,7 @@ func replayDispatcher(env Env, prog *isa.Program) (Report, bool) {
 // hash map in the standard pool and walk it the way the dump syscalls
 // do. Bug #9's bucket over-read fires on any non-empty hash map.
 func replaySyscalls(env Env, _ *isa.Program) (Report, bool) {
-	k, pool, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize)
+	k, pool, err := core.NewReplayKernel(env.Version, env.Bugs, env.Sanitize, env.Oracle)
 	if err != nil {
 		return Report{}, false
 	}

@@ -123,7 +123,11 @@ func (c Class) String() string {
 type Env struct {
 	Version  kernel.Version
 	Sanitize bool
-	Bugs     bugs.Set
+	// Oracle arms the abstract-state soundness checker on replay kernels.
+	// IndicatorSoundness findings only reproduce with it on, like
+	// indicator-1 findings only reproduce with Sanitize.
+	Oracle bool
+	Bugs   bugs.Set
 }
 
 // RawFinding is one deduplicated campaign finding entering the gauntlet:

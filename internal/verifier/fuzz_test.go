@@ -1,0 +1,109 @@
+package verifier
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/isa"
+)
+
+// encodeProgram flattens a program to the raw instruction stream the
+// fuzzer mutates.
+func encodeProgram(p *isa.Program) []byte {
+	var buf []byte
+	for _, ins := range p.Insns {
+		buf = ins.Encode(buf)
+	}
+	return buf
+}
+
+// FuzzVerifyNoPanic feeds mutated instruction streams straight into
+// Verify. The verifier may accept or reject anything, but it must never
+// panic, hang, or index out of bounds — campaign shards rely on that to
+// survive arbitrary generator/mutator output. Seeds cover the accept
+// path, the reject path, and a wide-immediate (16-byte) instruction so
+// the mutator learns both encodings.
+func FuzzVerifyNoPanic(f *testing.F) {
+	f.Add(uint8(1), encodeProgram(hotPathProgram()))
+	f.Add(uint8(1), encodeProgram(rejectProgram()))
+	f.Add(uint8(4), encodeProgram(&isa.Program{Insns: []isa.Instruction{
+		isa.LoadImm64(isa.R3, ^uint64(0)),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}))
+	f.Add(uint8(0), []byte{0x07, 0x01, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff})
+
+	k := newBenchKernel()
+	f.Fuzz(func(t *testing.T, progType uint8, data []byte) {
+		var insns []isa.Instruction
+		for len(data) > 0 && len(insns) < isa.MaxInsns {
+			ins, n, err := isa.Decode(data)
+			if err != nil {
+				break
+			}
+			insns = append(insns, ins)
+			data = data[n:]
+		}
+		if len(insns) == 0 {
+			t.Skip("no decodable instructions")
+		}
+		prog := &isa.Program{
+			Type:          isa.AllProgramTypes[int(progType)%len(isa.AllProgramTypes)],
+			GPLCompatible: progType%2 == 0,
+			Insns:         insns,
+		}
+		cfg := k.config(coverage.NewMap())
+		// Pathological jump graphs are legitimate fuzz inputs; the
+		// watchdog turns would-be hangs into a reported TimeoutError.
+		cfg.Timeout = 500 * time.Millisecond
+		res, err := Verify(prog, cfg)
+		if err == nil && res == nil {
+			t.Fatal("Verify returned neither result nor error")
+		}
+	})
+}
+
+// FuzzVerifyRecordStatesNoPanic replays the same contract with the
+// oracle's state recording armed: the claim-join path must be as
+// panic-free as the bare verifier, and accepted programs must come back
+// with a state table sized to the original instruction stream.
+func FuzzVerifyRecordStatesNoPanic(f *testing.F) {
+	f.Add(uint8(1), encodeProgram(hotPathProgram()))
+	f.Add(uint8(1), encodeProgram(rejectProgram()))
+
+	k := newBenchKernel()
+	f.Fuzz(func(t *testing.T, progType uint8, data []byte) {
+		var insns []isa.Instruction
+		for len(data) > 0 && len(insns) < isa.MaxInsns {
+			ins, n, err := isa.Decode(data)
+			if err != nil {
+				break
+			}
+			insns = append(insns, ins)
+			data = data[n:]
+		}
+		if len(insns) == 0 {
+			t.Skip("no decodable instructions")
+		}
+		prog := &isa.Program{
+			Type:          isa.AllProgramTypes[int(progType)%len(isa.AllProgramTypes)],
+			GPLCompatible: true,
+			Insns:         insns,
+		}
+		cfg := k.config(coverage.NewMap())
+		cfg.Timeout = 500 * time.Millisecond
+		cfg.RecordStates = true
+		res, err := Verify(prog, cfg)
+		if err != nil {
+			return
+		}
+		if res.States == nil {
+			t.Fatal("accepted with RecordStates but no state table")
+		}
+		if res.States.NumInsns() != len(prog.Insns) {
+			t.Fatalf("state table covers %d insns, program has %d",
+				res.States.NumInsns(), len(prog.Insns))
+		}
+	})
+}

@@ -654,6 +654,218 @@ var selftests = []selftest{
 		r0 = 0
 		exit`, wantErr: "NMI"},
 
+	// ----- 32-bit subregister bounds -----
+	// w-register writes zero-extend: the verifier must track the 32-bit
+	// subrange (tnum WithSubreg/ClearSubreg) and derive 64-bit bounds
+	// from it, without trusting stale upper-half knowledge.
+	{name: "w mov zero extends", src: `
+		r6 = -1
+		w6 = 1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 1)
+		exit`},
+	{name: "w mov truncates negative", src: `
+		w6 = -1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`, wantErr: "pointer offset overflow"},
+	{name: "w and bounds subreg", src: `
+		r6 = *(u32 *)(r1 0)
+		w6 &= 31
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`},
+	{name: "w add wraps subreg to zero", src: `
+		w6 = -1
+		w6 += 1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u64 *)(r7 0)
+		exit`},
+	{name: "64-bit add after subreg bound overflows", src: `
+		r6 = *(u32 *)(r1 0)
+		w6 &= 15
+		r6 += 56
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`, wantErr: "map value"},
+	{name: "64-bit add after subreg bound fits", src: `
+		r6 = *(u32 *)(r1 0)
+		w6 &= 15
+		r6 += 48
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`},
+	{name: "jmp32 leaves upper half unbounded", src: `
+		r6 = *(u32 *)(r1 0)
+		r6 <<= 32
+		r7 = *(u32 *)(r1 4)
+		r6 |= r7
+		if w6 > 31 goto out
+		r8 = map_value(fd=3 off=0)
+		r8 += r6
+		r0 = *(u8 *)(r8 0)
+		exit
+	out:	r0 = 0
+		exit`, wantErr: "unbounded"},
+	{name: "jmp64 bound covers subreg", src: `
+		r6 = *(u32 *)(r1 0)
+		if r6 > 31 goto out
+		r8 = map_value(fd=3 off=0)
+		r8 += r6
+		r0 = *(u8 *)(r8 0)
+		exit
+	out:	r0 = 0
+		exit`},
+
+	// ----- narrow loads zero-extend -----
+	{name: "u8 load bounded 255 still too wide", src: `
+		r6 = *(u32 *)(r1 0)
+		*(u64 *)(r10 -8) = r6
+		r7 = *(u8 *)(r10 -8)
+		r8 = map_value(fd=3 off=0)
+		r8 += r7
+		r0 = *(u8 *)(r8 0)
+		exit`, wantErr: "map value"},
+	{name: "u8 load branch bounded", src: `
+		r6 = *(u32 *)(r1 0)
+		*(u64 *)(r10 -8) = r6
+		r7 = *(u8 *)(r10 -8)
+		if r7 > 63 goto out
+		r8 = map_value(fd=3 off=0)
+		r8 += r7
+		r0 = *(u8 *)(r8 0)
+		exit
+	out:	r0 = 0
+		exit`},
+	{name: "u16 load bounded 65535", src: `
+		r6 = *(u32 *)(r1 0)
+		*(u64 *)(r10 -8) = r6
+		r7 = *(u16 *)(r10 -8)
+		r8 = map_value(fd=3 off=0)
+		r8 += r7
+		r0 = *(u8 *)(r8 0)
+		exit`, wantErr: "map value"},
+	{name: "narrow load known non-negative", src: `
+		r6 = *(u32 *)(r1 0)
+		*(u64 *)(r10 -8) = r6
+		r7 = *(u8 *)(r10 -8)
+		if r7 s< 0 goto bad
+		r0 = 0
+		exit
+	bad:	r0 = *(u64 *)(r9 0)
+		exit`},
+
+	// ----- arithmetic shift right of negative scalars -----
+	{name: "arshift negative const offset", src: `
+		r6 = -8
+		r6 s>>= 1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`, wantErr: "allowed memory range"},
+	{name: "arshift sign fill to minus one", src: `
+		r6 = -1
+		r6 s>>= 63
+		r0 = r6
+		exit`},
+	{name: "arshift scales non-negative bound", src: `
+		r6 = *(u32 *)(r1 0)
+		r6 &= 255
+		r6 s>>= 2
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`},
+	{name: "arshift range straddles zero", src: `
+		r6 = *(u32 *)(r1 0)
+		r6 &= 255
+		r6 -= 128
+		r6 s>>= 1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`, wantErr: "allowed memory range"},
+	{name: "arshift then signed guard", src: `
+		r6 = *(u32 *)(r1 0)
+		r6 &= 255
+		r6 -= 128
+		r6 s>>= 1
+		if r6 s< 0 goto out
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit
+	out:	r0 = 0
+		exit`},
+	{name: "w arshift zero extends result", src: `
+		w6 = -8
+		w6 s>>= 1
+		r7 = map_value(fd=3 off=0)
+		r7 += r6
+		r0 = *(u8 *)(r7 0)
+		exit`, wantErr: "pointer offset overflow"},
+
+	// ----- pointer-arithmetic alu_limit edges -----
+	{name: "map ptr to last byte", src: `
+		r6 = map_value(fd=3 off=0)
+		r6 += 63
+		r0 = *(u8 *)(r6 0)
+		exit`},
+	{name: "map ptr one past end", src: `
+		r6 = map_value(fd=3 off=0)
+		r6 += 64
+		r0 = *(u8 *)(r6 0)
+		exit`, wantErr: "map value"},
+	{name: "map ptr negative step", src: `
+		r6 = map_value(fd=3 off=0)
+		r6 += -1
+		r0 = *(u8 *)(r6 0)
+		exit`, wantErr: "allowed memory range"},
+	{name: "chained const offsets to edge", src: `
+		r6 = map_value(fd=3 off=0)
+		r6 += 32
+		r6 += 31
+		r0 = *(u8 *)(r6 0)
+		exit`},
+	{name: "var plus const to edge", src: `
+		r7 = *(u32 *)(r1 0)
+		r7 &= 31
+		r6 = map_value(fd=3 off=0)
+		r6 += r7
+		r6 += 32
+		r0 = *(u8 *)(r6 0)
+		exit`},
+	{name: "var plus const past edge", src: `
+		r7 = *(u32 *)(r1 0)
+		r7 &= 31
+		r6 = map_value(fd=3 off=0)
+		r6 += r7
+		r6 += 33
+		r0 = *(u8 *)(r6 0)
+		exit`, wantErr: "map value"},
+	{name: "subtract var from map ptr", src: `
+		r7 = *(u32 *)(r1 0)
+		r7 &= 7
+		r6 = map_value(fd=3 off=0)
+		r6 -= r7
+		r0 = *(u8 *)(r6 0)
+		exit`, wantErr: "allowed memory range"},
+
+	// The kfunc-backtracking knob (bug #3) collapses an AND-bounded
+	// scalar to a constant after the call: the fixed verifier rejects the
+	// out-of-range offset, the armed one believes the lie and accepts —
+	// the exact divergence the soundness oracle then catches at runtime.
+	{name: "kfunc collapse offset (fixed)", noKfuncs: true, src: kfuncCollapseSrc,
+		wantErr: "map value"},
+	{name: "kfunc collapse offset (bug3)", noKfuncs: true, src: kfuncCollapseSrc,
+		bugs: bugs.Of(bugs.Bug3KfuncBacktrack)},
+
 	// ----- bug knobs flip verdicts -----
 	{name: "cve alu on nullable (fixed)", src: cveSrc, wantErr: "null-check it first"},
 	{name: "cve alu on nullable (buggy)", src: cveSrc, bugs: bugs.Of(bugs.CVE2022_23222)},
@@ -674,6 +886,15 @@ const cveSrc = `
 	r0 = 0
 	exit
 use:	r0 = *(u64 *)(r0 0)
+	exit`
+
+const kfuncCollapseSrc = `
+	r6 = *(u32 *)(r1 0)
+	r6 &= 255
+	call kfunc#103
+	r7 = map_value(fd=3 off=0)
+	r7 += r6
+	r0 = *(u8 *)(r7 0)
 	exit`
 
 const taskOOBSrc = `

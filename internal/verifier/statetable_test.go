@@ -1,0 +1,82 @@
+package verifier
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestImpreciseALU pins which ALU forms poison their dst register's
+// claims: exactly the ones whose abstract result bounds the verifier
+// over-tightens against the runtime's corner-case semantics. A form
+// moving between the lists without a matching modeling change in
+// check_alu.go either reopens the oracle's false-positive channel or
+// silently drops claim coverage.
+func TestImpreciseALU(t *testing.T) {
+	imprecise := []isa.Instruction{
+		isa.Alu64Reg(isa.ALUDiv, isa.R3, isa.R4),   // div-by-zero -> 0; div-by-one passes dst through
+		isa.Alu64Reg(isa.ALUMod, isa.R3, isa.R4),   // mod-by-zero leaves dst unchanged
+		isa.Alu64Reg(isa.ALURsh, isa.R3, isa.R4),   // shift-by-zero leaves dst unchanged
+		isa.Alu32Reg(isa.ALUDiv, isa.R3, isa.R4),   // 32-bit corners match the 64-bit ones
+		isa.Alu32Reg(isa.ALUMod, isa.R3, isa.R4),
+		isa.Alu32Reg(isa.ALURsh, isa.R3, isa.R4),
+		isa.Alu64Imm(isa.ALUDiv, isa.R3, 1),        // dst/1 == dst can exceed the claimed signed range
+		isa.Alu64Imm(isa.ALURsh, isa.R3, 0),        // explicit shift by zero
+		{Opcode: isa.ClassALU64 | isa.SrcK | isa.ALUDiv, Dst: isa.R3, Imm: 7, Off: 1}, // sdiv modeled unsigned
+		{Opcode: isa.ClassALU64 | isa.SrcK | isa.ALUMod, Dst: isa.R3, Imm: 7, Off: 1}, // smod modeled unsigned
+	}
+	precise := []isa.Instruction{
+		isa.Alu64Imm(isa.ALUDiv, isa.R3, 7),      // result <= dst/7, non-negative
+		isa.Alu64Imm(isa.ALUMod, isa.R3, 7),      // result in [0, 6]
+		isa.Alu64Imm(isa.ALURsh, isa.R3, 1),      // sign bit really cleared
+		isa.Alu64Reg(isa.ALULsh, isa.R3, isa.R4), // modeled as unknown: trivially sound
+		isa.Alu64Reg(isa.ALUArsh, isa.R3, isa.R4),
+		isa.Alu64Reg(isa.ALUAdd, isa.R3, isa.R4),
+		isa.Alu64Reg(isa.ALUMul, isa.R3, isa.R4),
+		isa.Mov64Imm(isa.R3, 1),
+		isa.Exit(),
+	}
+	for _, ins := range imprecise {
+		if !impreciseALU(ins) {
+			t.Errorf("%v: want imprecise (dst claims must be skipped)", ins)
+		}
+	}
+	for _, ins := range precise {
+		if impreciseALU(ins) {
+			t.Errorf("%v: want precise (dst claims must be kept)", ins)
+		}
+	}
+}
+
+// TestStateTablePoisonedRegister: a program containing one imprecise
+// ALU write to R3 must record ClaimSkip for R3 at every instruction,
+// while other registers keep their claims.
+func TestStateTablePoisonedRegister(t *testing.T) {
+	prog := &isa.Program{Insns: []isa.Instruction{
+		isa.Mov64Imm(isa.R3, 100),
+		isa.Mov64Imm(isa.R4, 0),
+		isa.Alu64Reg(isa.ALUMod, isa.R3, isa.R4),
+		isa.Mov64Imm(isa.R0, 0),
+		isa.Exit(),
+	}}
+	tab := NewStateTable(prog)
+	if tab.poisoned != 1<<isa.R3 {
+		t.Fatalf("poisoned mask = %#x, want 1<<R3", tab.poisoned)
+	}
+	f := &FuncState{}
+	for r := range f.Regs {
+		f.Regs[r] = unknownScalar()
+		f.Regs[r].Type = Scalar
+	}
+	for i := range prog.Insns {
+		tab.record(i, f)
+	}
+	for i := range prog.Insns {
+		if got := tab.Claim(i, int(isa.R3)).Kind; got != ClaimSkip {
+			t.Errorf("insn %d: R3 claim kind = %v, want skip", i, got)
+		}
+		if got := tab.Claim(i, int(isa.R4)).Kind; got != ClaimScalar {
+			t.Errorf("insn %d: R4 claim kind = %v, want scalar", i, got)
+		}
+	}
+}

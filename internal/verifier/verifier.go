@@ -88,6 +88,12 @@ type Config struct {
 	// instruction budget alone does not catch (a single pathological
 	// state can be slow without processing many instructions).
 	Timeout time.Duration
+	// RecordStates snapshots the joined per-instruction abstract register
+	// state into Result.States for the differential soundness oracle.
+	// Off by default: recording allocates the claim table and joins every
+	// register at every simulated instruction, which the pooled zero-alloc
+	// hot path must not pay for.
+	RecordStates bool
 }
 
 // TimeoutError reports that a verification exceeded its wall-clock
@@ -140,6 +146,10 @@ type Result struct {
 	// value across every explored exit path. A sound verifier implies
 	// every runtime return value falls inside it.
 	R0Bounds ReturnBounds
+	// States is the per-instruction joined abstract register claim table
+	// (Config.RecordStates only; nil otherwise). Indices refer to the
+	// *original* program's instructions; fixup preserves them.
+	States *StateTable
 	// Log is the verifier log (LogLevel > 0).
 	Log string
 }
@@ -210,6 +220,8 @@ type env struct {
 
 	rangeChecks map[int]RangeCheck
 	r0Bounds    ReturnBounds
+	// states is the oracle claim table (Config.RecordStates only).
+	states *StateTable
 	// aluScalarPath marks ALU insns some path executed with two scalar
 	// operands, which disables that insn's alu_limit assertion.
 	aluScalarPath map[int]bool
@@ -385,6 +397,9 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 	if LayoutFor(prog.Type) == nil && prog.Type != isa.ProgTypeUnspec {
 		return nil, e.reject(0, EINVAL, "unsupported program type %s", prog.Type)
 	}
+	if cfg.RecordStates {
+		e.states = NewStateTable(prog)
+	}
 
 	worklist := []*State{newInitialState()}
 	for len(worklist) > 0 {
@@ -421,6 +436,7 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		ProbeMem:      e.probeMem,
 		UsedMaps:      e.usedMaps,
 		R0Bounds:      e.r0Bounds,
+		States:        e.states,
 		Log:           e.log.String(),
 	}
 	for idx, rc := range e.rangeChecks {
@@ -456,6 +472,11 @@ func (e *env) runPath(st *State) (*State, *State, error) {
 			}
 		}
 		ins := e.prog.Insns[i]
+		if e.states != nil {
+			// Claims are joined before the instruction is checked, matching
+			// the runtime hook that fires before it executes.
+			e.states.record(i, st.Cur())
+		}
 		if e.cfg.LogLevel > 0 {
 			e.logf("%d: %s\n", i, ins.String())
 			if e.cfg.LogLevel > 1 {

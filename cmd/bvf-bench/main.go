@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/prof"
+	"repro/internal/vcache"
 )
 
 func main() { os.Exit(run()) }
@@ -54,8 +55,10 @@ func run() int {
 		supervise = flag.Bool("supervise", false, "run experiment campaigns under the self-healing supervisor")
 		minBudget = flag.Duration("minimize-budget", core.DefaultMinimizeBudget,
 			"wall-clock budget per reproducer minimization (negative disables the bound)")
-		benchJSON = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
+		benchJSON  = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
 		oracleFlag = flag.Bool("oracle", false, "arm the abstract-state soundness oracle in the -bench-json campaign (measures its overhead)")
+		cacheFlag  = flag.Bool("cache", true, "memoize verifier verdicts in the -bench-json campaign (the committed baselines are cached)")
+		baseline   = flag.String("bench-baseline", "", "committed BENCH_*.json to compare against; >20% iters/sec regression fails the run")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -75,7 +78,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *budget, *oracleFlag); err != nil {
+		if err := runBenchJSON(*benchJSON, *budget, *oracleFlag, *cacheFlag, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", err)
 			return 1
 		}
@@ -135,23 +138,81 @@ func run() int {
 // BenchReport is the -bench-json output: one fixed-seed campaign's
 // throughput and allocation profile, comparable across code changes.
 type BenchReport struct {
-	Tool          string             `json:"tool"`
-	Version       string             `json:"version"`
-	Seed          int64              `json:"seed"`
-	Iterations    int                `json:"iterations"`
-	Seconds       float64            `json:"seconds"`
-	ItersPerSec   float64            `json:"iters_per_sec"`
-	AllocsPerIter float64            `json:"allocs_per_iter"`
-	BytesPerIter  float64            `json:"bytes_per_iter"`
-	PeakWorklist  int                `json:"peak_worklist"`
-	Accepted      int                `json:"accepted"`
-	CoverageSites int                `json:"coverage_sites"`
-	Bugs          int                `json:"bugs"`
-	StageSeconds  map[string]float64 `json:"stage_seconds"`
+	Tool          string  `json:"tool"`
+	Version       string  `json:"version"`
+	Seed          int64   `json:"seed"`
+	Iterations    int     `json:"iterations"`
+	Seconds       float64 `json:"seconds"`
+	ItersPerSec   float64 `json:"iters_per_sec"`
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	BytesPerIter  float64 `json:"bytes_per_iter"`
+	PeakWorklist  int     `json:"peak_worklist"`
+	Accepted      int     `json:"accepted"`
+	CoverageSites int     `json:"coverage_sites"`
+	Bugs          int     `json:"bugs"`
+	// StageSeconds attributes the whole wall clock: the measured pipeline
+	// stages plus an explicit "other" residual (campaign loop, curve
+	// sampling, kernel recycling), so the values sum to Seconds and
+	// cross-report stage comparisons are honest.
+	StageSeconds map[string]float64 `json:"stage_seconds"`
 	// Oracle fields are zero unless -oracle armed the soundness checker.
 	Oracle              bool `json:"oracle"`
 	SoundnessChecks     int  `json:"soundness_checks,omitempty"`
 	SoundnessViolations int  `json:"soundness_violations,omitempty"`
+	// Cache fields are zero unless -cache armed the verdict cache.
+	Cached            bool  `json:"cached"`
+	CacheHits         int64 `json:"cache_hits,omitempty"`
+	CacheMisses       int64 `json:"cache_misses,omitempty"`
+	CachePrefixHits   int64 `json:"cache_prefix_hits,omitempty"`
+	CachePrefixMisses int64 `json:"cache_prefix_misses,omitempty"`
+}
+
+// buildReport assembles the BenchReport from one finished campaign. The
+// stage map always contains an "other" entry making stage_seconds sum to
+// seconds exactly (see TestBenchReportStagesSumToSeconds).
+func buildReport(st *core.Stats, elapsed time.Duration, allocs, bytes uint64, oracle, cached bool) BenchReport {
+	rep := BenchReport{
+		Tool:          st.Tool,
+		Version:       st.Version.String(),
+		Seed:          7,
+		Iterations:    st.Iterations,
+		Seconds:       elapsed.Seconds(),
+		ItersPerSec:   float64(st.Iterations) / elapsed.Seconds(),
+		AllocsPerIter: float64(allocs) / float64(st.Iterations),
+		BytesPerIter:  float64(bytes) / float64(st.Iterations),
+		PeakWorklist:  st.PeakWorklist,
+		Accepted:      st.Accepted,
+		CoverageSites: st.Coverage.Count(),
+		Bugs:          len(st.Bugs),
+		StageSeconds:  make(map[string]float64, len(st.StageNanos)+1),
+
+		Oracle:              oracle,
+		SoundnessChecks:     st.SoundnessChecks,
+		SoundnessViolations: st.SoundnessViolations,
+
+		Cached:            cached,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		CachePrefixHits:   st.CachePrefixHits,
+		CachePrefixMisses: st.CachePrefixMisses,
+	}
+	accounted := 0.0
+	for stage, ns := range st.StageNanos {
+		s := time.Duration(ns).Seconds()
+		rep.StageSeconds[stage] = s
+		accounted += s
+	}
+	other := rep.Seconds - accounted
+	if other < 0 {
+		// Stage clocks can only overshoot the outer wall clock by timer
+		// granularity; clamp so the invariant stays exact.
+		for stage := range rep.StageSeconds {
+			rep.StageSeconds[stage] *= rep.Seconds / accounted
+		}
+		other = 0
+	}
+	rep.StageSeconds["other"] = other
+	return rep
 }
 
 // runBenchJSON runs the fixed-seed throughput benchmark — the golden
@@ -159,15 +220,19 @@ type BenchReport struct {
 // to path. Allocations are measured as the runtime's Mallocs/TotalAlloc
 // delta across the campaign, so the number covers the whole pipeline
 // (generate, verify, sanitize, execute, triage), not just the verifier.
-func runBenchJSON(path string, budget int, oracle bool) error {
+func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath string) error {
 	iters := budget
 	if iters <= 0 {
 		iters = 3000
 	}
-	c := core.NewCampaign(core.CampaignConfig{
+	cfg := core.CampaignConfig{
 		Source: core.BVFSource(true), Version: kernel.BPFNext,
 		Sanitize: true, Seed: 7, NoMinimize: true, Oracle: oracle,
-	})
+	}
+	if cached {
+		cfg.Cache = vcache.NewStore(0)
+	}
+	c := core.NewCampaign(cfg)
 	var before, after goruntime.MemStats
 	goruntime.GC()
 	goruntime.ReadMemStats(&before)
@@ -178,28 +243,9 @@ func runBenchJSON(path string, budget int, oracle bool) error {
 	if err != nil {
 		return err
 	}
-	rep := BenchReport{
-		Tool:          st.Tool,
-		Version:       st.Version.String(),
-		Seed:          7,
-		Iterations:    st.Iterations,
-		Seconds:       elapsed.Seconds(),
-		ItersPerSec:   float64(st.Iterations) / elapsed.Seconds(),
-		AllocsPerIter: float64(after.Mallocs-before.Mallocs) / float64(st.Iterations),
-		BytesPerIter:  float64(after.TotalAlloc-before.TotalAlloc) / float64(st.Iterations),
-		PeakWorklist:  st.PeakWorklist,
-		Accepted:      st.Accepted,
-		CoverageSites: st.Coverage.Count(),
-		Bugs:          len(st.Bugs),
-		StageSeconds:  make(map[string]float64, len(st.StageNanos)),
-
-		Oracle:              oracle,
-		SoundnessChecks:     st.SoundnessChecks,
-		SoundnessViolations: st.SoundnessViolations,
-	}
-	for stage, ns := range st.StageNanos {
-		rep.StageSeconds[stage] = time.Duration(ns).Seconds()
-	}
+	rep := buildReport(st, elapsed,
+		after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc,
+		oracle, cached)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -213,6 +259,43 @@ func runBenchJSON(path string, budget int, oracle bool) error {
 	if oracle {
 		fmt.Printf("bench: oracle checked %d claims, %d violation(s), %.2fs in oracle stage\n",
 			rep.SoundnessChecks, rep.SoundnessViolations, rep.StageSeconds["oracle"])
+	}
+	if cached {
+		lookups := rep.CacheHits + rep.CacheMisses
+		share := 0.0
+		if lookups > 0 {
+			share = float64(rep.CacheHits) / float64(lookups)
+		}
+		fmt.Printf("bench: verdict cache %d/%d hits (%.1f%%), %d prefix hits\n",
+			rep.CacheHits, lookups, 100*share, rep.CachePrefixHits)
+	}
+	if baselinePath != "" {
+		return checkBaseline(rep, baselinePath)
+	}
+	return nil
+}
+
+// checkBaseline compares a fresh report against a committed one and fails
+// when throughput regressed by more than 20% — a smoke gate coarse enough
+// to survive CI-runner noise but tight enough to catch a hot path that
+// quietly fell off a cliff.
+func checkBaseline(rep BenchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench baseline: %s: %w", path, err)
+	}
+	if base.ItersPerSec <= 0 {
+		return fmt.Errorf("bench baseline: %s has no iters_per_sec", path)
+	}
+	ratio := rep.ItersPerSec / base.ItersPerSec
+	fmt.Printf("bench: %.0f iters/sec vs baseline %.0f (%.2fx, %s)\n",
+		rep.ItersPerSec, base.ItersPerSec, ratio, path)
+	if ratio < 0.8 {
+		return fmt.Errorf("bench baseline: throughput regressed to %.2fx of %s (floor 0.80x)", ratio, path)
 	}
 	return nil
 }

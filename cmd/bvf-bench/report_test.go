@@ -1,0 +1,83 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// TestBenchReportStagesSumToSeconds pins the stage-accounting invariant:
+// stage_seconds (including the explicit "other" residual) sums to seconds
+// exactly, so per-stage shares in a report are shares of the real wall
+// clock, not of an unstated subset.
+func TestBenchReportStagesSumToSeconds(t *testing.T) {
+	st := core.NewStats("bvf", kernel.BPFNext)
+	st.Iterations = 3000
+	st.StageNanos["gen"] = int64(40 * time.Millisecond)
+	st.StageNanos["verify"] = int64(90 * time.Millisecond)
+	st.StageNanos["exec"] = int64(25 * time.Millisecond)
+	st.StageNanos["triage"] = int64(10 * time.Millisecond)
+	st.StageNanos["cache"] = int64(2 * time.Millisecond)
+
+	rep := buildReport(st, 200*time.Millisecond, 1_000_000, 64_000_000, false, true)
+
+	other, ok := rep.StageSeconds["other"]
+	if !ok {
+		t.Fatalf("stage_seconds missing the %q residual: %v", "other", rep.StageSeconds)
+	}
+	if other <= 0 {
+		t.Errorf("other residual = %v, want > 0 (stages account for 167ms of 200ms)", other)
+	}
+	sum := 0.0
+	for _, s := range rep.StageSeconds {
+		sum += s
+	}
+	if diff := math.Abs(sum - rep.Seconds); diff > 1e-12 {
+		t.Errorf("stage_seconds sum to %v, seconds = %v (diff %g)", sum, rep.Seconds, diff)
+	}
+}
+
+// Stage clocks can overshoot the outer wall clock by timer granularity;
+// the report must clamp rather than emit a negative "other".
+func TestBenchReportStageOvershootClamped(t *testing.T) {
+	st := core.NewStats("bvf", kernel.BPFNext)
+	st.Iterations = 100
+	st.StageNanos["gen"] = int64(60 * time.Millisecond)
+	st.StageNanos["verify"] = int64(60 * time.Millisecond)
+
+	rep := buildReport(st, 100*time.Millisecond, 1000, 1000, false, false)
+
+	if rep.StageSeconds["other"] != 0 {
+		t.Errorf("other = %v, want 0 when stages overshoot", rep.StageSeconds["other"])
+	}
+	sum := 0.0
+	for name, s := range rep.StageSeconds {
+		if s < 0 {
+			t.Errorf("stage %q is negative: %v", name, s)
+		}
+		sum += s
+	}
+	if diff := math.Abs(sum - rep.Seconds); diff > 1e-12 {
+		t.Errorf("clamped stage_seconds sum to %v, seconds = %v", sum, rep.Seconds)
+	}
+}
+
+// The report carries the cache counters straight from Stats so regression
+// diffs can tell a cold cache from a disabled one.
+func TestBenchReportCacheCounters(t *testing.T) {
+	st := core.NewStats("bvf", kernel.BPFNext)
+	st.Iterations = 10
+	st.CacheHits = 7
+	st.CacheMisses = 3
+	st.CachePrefixHits = 2
+	st.CachePrefixMisses = 1
+
+	rep := buildReport(st, time.Second, 0, 0, false, true)
+	if !rep.Cached || rep.CacheHits != 7 || rep.CacheMisses != 3 ||
+		rep.CachePrefixHits != 2 || rep.CachePrefixMisses != 1 {
+		t.Errorf("cache fields not propagated: %+v", rep)
+	}
+}

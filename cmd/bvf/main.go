@@ -8,7 +8,7 @@
 //	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
 //	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
 //	    [-supervise] [-max-restarts N] [-watchdog D]
-//	    [-triage] [-findings-dir DIR] [-oracle]
+//	    [-triage] [-findings-dir DIR] [-oracle] [-cache]
 //	    [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // The campaign is sharded across -workers parallel fuzzing instances
@@ -52,6 +52,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/prof"
 	"repro/internal/triage"
+	"repro/internal/vcache"
 )
 
 func main() { os.Exit(run()) }
@@ -78,6 +79,7 @@ func run() int {
 		doTriage    = flag.Bool("triage", true, "run every finding through the validation gauntlet")
 		findingsDir = flag.String("findings-dir", "", "directory for the crash-safe finding store (empty: in-memory)")
 		oracleFlag  = flag.Bool("oracle", false, "differentially check abstract verifier state against concrete execution (indicator 3)")
+		cacheFlag   = flag.Bool("cache", false, "memoize verifier verdicts in a cross-shard cache (incremental re-verification)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -157,8 +159,12 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d, workers=%d)\n",
-		version, src.Name(), *iters, sanitize, *seed, *workers)
+	fmt.Printf("bvf: fuzzing Linux %s with %s for %d iterations (sanitize=%v, seed=%d, workers=%d, cache=%v)\n",
+		version, src.Name(), *iters, sanitize, *seed, *workers, *cacheFlag)
+	var sharedCache *vcache.Store
+	if *cacheFlag {
+		sharedCache = vcache.NewStore(0)
+	}
 	start := time.Now()
 	c := core.NewParallelCampaign(core.ParallelConfig{
 		CampaignConfig: core.CampaignConfig{
@@ -175,6 +181,7 @@ func run() int {
 		Progress:        os.Stderr,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		SharedCache:     sharedCache,
 	})
 	if snap != nil {
 		if err := c.Resume(snap); err != nil {
@@ -227,6 +234,12 @@ func run() int {
 	if st.SoundnessChecks > 0 {
 		fmt.Printf("oracle:           %d claims checked, %d violation(s)\n",
 			st.SoundnessChecks, st.SoundnessViolations)
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Printf("verdict cache:    %d hits / %d lookups (%.1f%%), %d prefix hits, ~%s inserted\n",
+			st.CacheHits, st.CacheHits+st.CacheMisses,
+			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses),
+			st.CachePrefixHits, humanBytes(st.CacheInsertedBytes))
 	}
 	fmt.Printf("bugs found:       %d (%d verifier correctness, %d manifestations)\n\n",
 		len(st.BugIDs()), st.VerifierBugsFound(), len(st.Bugs))
@@ -302,6 +315,18 @@ func timeoutOrOff(d time.Duration) time.Duration {
 		return -1
 	}
 	return d
+}
+
+// humanBytes renders a byte count with a binary unit suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func indent(s, pre string) string {

@@ -32,7 +32,9 @@ var magic = [8]byte{'B', 'V', 'F', 'C', 'K', 'P', 'T', '\n'}
 // FormatVersion is bumped on incompatible envelope or payload changes; a
 // mismatch fails Load rather than guessing. v2: Stats.Bugs keyed by the
 // full manifestation signature (core.BugKey) instead of the bug ID.
-const FormatVersion = 2
+// v3: snapshots carry the shared verdict-cache contents and Stats grew
+// the cache hit/miss counters.
+const FormatVersion = 3
 
 // headerSize is magic + version(u32) + payload length(u64) + crc(u32).
 const headerSize = 8 + 4 + 8 + 4
@@ -42,6 +44,25 @@ var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint file")
 
 // ErrCorrupt wraps all envelope-validation failures.
 var ErrCorrupt = errors.New("checkpoint: corrupt or incompatible file")
+
+// VersionError reports a well-formed checkpoint written by a different
+// format version. It matches ErrCorrupt under errors.Is (existing callers
+// treat any validation failure uniformly) but lets resuming tools tell
+// "stale format, re-run from scratch" apart from actual file damage and
+// print an actionable message.
+type VersionError struct {
+	Path string
+	Got  uint32
+	Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("checkpoint: %s is format v%d, this build reads v%d (older checkpoints cannot be resumed; delete the file or rerun with its original build)",
+		e.Path, e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) keep matching version mismatches.
+func (e *VersionError) Is(target error) bool { return target == ErrCorrupt }
 
 // TempSuffix is appended to the destination path for the staging file.
 // A crash between the temp write and the rename leaves this file behind;
@@ -122,7 +143,7 @@ func Load(path string, v any) error {
 		return fmt.Errorf("%w: %s has no checkpoint magic", ErrCorrupt, path)
 	}
 	if ver := binary.LittleEndian.Uint32(buf[8:12]); ver != FormatVersion {
-		return fmt.Errorf("%w: %s is format v%d, this build reads v%d", ErrCorrupt, path, ver, FormatVersion)
+		return &VersionError{Path: path, Got: ver, Want: FormatVersion}
 	}
 	n := binary.LittleEndian.Uint64(buf[12:20])
 	if uint64(len(buf)-headerSize) != n {

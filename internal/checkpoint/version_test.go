@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeEnvelope builds a structurally valid checkpoint file with an
+// arbitrary format version — the shape a v2 build would have left on disk.
+func writeEnvelope(t *testing.T, path string, version uint32, payload any) {
+	t.Helper()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(body.Len()))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body.Bytes()))
+	buf = append(buf, body.Bytes()...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type versionTestPayload struct {
+	Round int
+}
+
+// TestLoadRejectsOlderFormat is the v2-fixture regression test: resuming a
+// checkpoint written by the previous format version must fail with a typed,
+// actionable error instead of gob-decoding stale state into new structs.
+func TestLoadRejectsOlderFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.ckpt")
+	writeEnvelope(t, path, FormatVersion-1, versionTestPayload{Round: 3})
+
+	var got versionTestPayload
+	err := Load(path, &got)
+	if err == nil {
+		t.Fatal("Load accepted a v2 checkpoint")
+	}
+
+	// Existing callers match ErrCorrupt for "anything unusable"; the typed
+	// error must keep satisfying that.
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("errors.Is(err, ErrCorrupt) = false for %v", err)
+	}
+	var verr *VersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("errors.As(*VersionError) = false for %v", err)
+	}
+	if verr.Got != FormatVersion-1 || verr.Want != FormatVersion {
+		t.Errorf("VersionError = got v%d want v%d, expected v%d/v%d", verr.Got, verr.Want, FormatVersion-1, FormatVersion)
+	}
+	if !strings.Contains(err.Error(), "cannot be resumed") {
+		t.Errorf("error message is not actionable: %q", err.Error())
+	}
+	// Version is checked before the payload is touched, so Load must not
+	// have partially decoded into the target.
+	if got != (versionTestPayload{}) {
+		t.Errorf("Load mutated the target despite the version mismatch: %+v", got)
+	}
+}
+
+// A future-format file (written by a newer build) must be rejected the
+// same way, not half-understood.
+func TestLoadRejectsNewerFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vNext.ckpt")
+	writeEnvelope(t, path, FormatVersion+1, versionTestPayload{Round: 9})
+
+	var got versionTestPayload
+	err := Load(path, &got)
+	var verr *VersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Load = %v, want *VersionError", err)
+	}
+	if verr.Got != FormatVersion+1 {
+		t.Errorf("VersionError.Got = %d, want %d", verr.Got, FormatVersion+1)
+	}
+}
+
+// The current version must still round-trip — guards against bumping
+// FormatVersion in Save but not Load (or vice versa).
+func TestLoadCurrentFormatRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "current.ckpt")
+	if err := Save(path, versionTestPayload{Round: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var got versionTestPayload
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 5 {
+		t.Errorf("round-trip payload = %+v", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/maps"
 	"repro/internal/runtime"
+	"repro/internal/vcache"
 	"repro/internal/verifier"
 )
 
@@ -81,6 +82,11 @@ type CampaignConfig struct {
 	Oracle bool
 	// RunsPerProgram executes each accepted program this many times.
 	RunsPerProgram int
+	// Cache, when non-nil, memoizes verifier verdicts across iterations
+	// (and kernel recycles — see internal/vcache). Single campaigns pass a
+	// *vcache.Store; ParallelCampaign hands each shard a *vcache.Shard
+	// view of one shared store. Stats gains Cache* counters when set.
+	Cache verifier.Cache
 	// OnIteration, when non-nil, is invoked after every fuzzing
 	// iteration. ParallelCampaign uses it to feed the live progress
 	// reporter; the callback must be cheap and concurrency-safe.
@@ -180,6 +186,7 @@ func (c *Campaign) recycle() error {
 		VerifyTimeout: c.cfg.Supervision.verifyTimeout(),
 		ExecTimeout:   c.cfg.Supervision.execTimeout(),
 		Oracle:        c.cfg.Oracle,
+		Cache:         c.cfg.Cache,
 	})
 	c.pool = c.pool[:0]
 	for _, spec := range poolSpecs {
@@ -247,6 +254,7 @@ func (c *Campaign) Run(iters int) (*Stats, error) {
 	if sampleEvery == 0 {
 		sampleEvery = 1
 	}
+	cacheStart, hasCache := c.cacheCounters()
 	base := c.stats.Iterations
 	for i := 0; i < iters; i++ {
 		gi := base + i
@@ -267,7 +275,29 @@ func (c *Campaign) Run(iters int) (*Stats, error) {
 	}
 	c.stats.Iterations = base + iters
 	c.stats.CorpusSize = c.corpus.Len()
+	if hasCache {
+		// Fold only this Run call's delta in: checkpoint-restored Stats
+		// already carry the counters of previous runs.
+		end, _ := c.cacheCounters()
+		c.stats.CacheHits += end.Hits - cacheStart.Hits
+		c.stats.CacheMisses += end.Misses - cacheStart.Misses
+		c.stats.CachePrefixHits += end.PrefixHits - cacheStart.PrefixHits
+		c.stats.CachePrefixMisses += end.PrefixMisses - cacheStart.PrefixMisses
+		c.stats.CacheInsertedBytes += end.InsertedBytes - cacheStart.InsertedBytes
+	}
 	return c.stats, nil
+}
+
+// cacheCounters snapshots the configured cache's effectiveness counters
+// (vcache.Store and vcache.Shard both satisfy the interface); Run pulls
+// start/end deltas so repeated Run calls and resumed campaigns accumulate
+// correctly.
+func (c *Campaign) cacheCounters() (vcache.Counters, bool) {
+	cc, ok := c.cfg.Cache.(interface{ CounterSnapshot() vcache.Counters })
+	if !ok {
+		return vcache.Counters{}, false
+	}
+	return cc.CounterSnapshot(), true
 }
 
 // runIteration executes one fuzzing iteration, containing panics when
@@ -304,6 +334,36 @@ func (c *Campaign) addStage(stage string, d time.Duration) {
 	}
 }
 
+// isVerifierTimeout matches the verify watchdog's TimeoutError without
+// the errors.As target cell escaping to the heap on the (common)
+// non-timeout path: kernel error values are concrete types, so a direct
+// assertion handles them and the reflective walk only runs for errors
+// that actually wrap something.
+func isVerifierTimeout(err error) bool {
+	if _, ok := err.(*verifier.TimeoutError); ok {
+		return true
+	}
+	switch err.(type) {
+	case interface{ Unwrap() error }, interface{ Unwrap() []error }:
+		var te *verifier.TimeoutError
+		return errors.As(err, &te)
+	}
+	return false
+}
+
+// isExecWatchdog is the execution-side twin of isVerifierTimeout.
+func isExecWatchdog(err error) bool {
+	if _, ok := err.(*runtime.WatchdogError); ok {
+		return true
+	}
+	switch err.(type) {
+	case interface{ Unwrap() error }, interface{ Unwrap() []error }:
+		var we *runtime.WatchdogError
+		return errors.As(err, &we)
+	}
+	return false
+}
+
 func (c *Campaign) iteration(i int) {
 	faultinject.Fire("core.iteration")
 	c.lastProg = nil
@@ -328,8 +388,7 @@ func (c *Campaign) iteration(i int) {
 	}
 
 	if err != nil {
-		var te *verifier.TimeoutError
-		if errors.As(err, &te) {
+		if isVerifierTimeout(err) {
 			// The watchdog aborted a worklist explosion: a harness
 			// resource limit, not a verifier verdict. Count and keep
 			// the program for triage instead of skewing ErrnoHist.
@@ -361,8 +420,7 @@ func (c *Campaign) iteration(i int) {
 	oChecks, oViols, oNanos := c.k.OracleChecks, c.k.OracleViolations, c.k.OracleNanos
 	for run := 0; run < c.cfg.RunsPerProgram; run++ {
 		out := c.k.Run(lp)
-		var we *runtime.WatchdogError
-		if errors.As(out.Err, &we) {
+		if isExecWatchdog(out.Err) {
 			c.recordWatchdog("exec", i, prog)
 			break
 		}
@@ -469,7 +527,15 @@ func (c *Campaign) recordAnomaly(i int, a *kernel.Anomaly, prog *isa.Program) {
 }
 
 func (c *Campaign) countInsnMix(p *isa.Program) {
+	// Tally into a class-indexed array first: two string-map operations
+	// per instruction made this accounting visible in profiles.
+	var counts [8]int
 	for _, ins := range p.Insns {
-		c.stats.InsnClassMix[isa.ClassName(ins.Class())]++
+		counts[ins.Class()&0x07]++
+	}
+	for cl, n := range counts {
+		if n != 0 {
+			c.stats.InsnClassMix[isa.ClassName(uint8(cl))] += n
+		}
 	}
 }

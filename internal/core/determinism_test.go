@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/kernel"
+	"repro/internal/vcache"
 )
 
 // goldenFingerprint reduces one campaign's results to a comparable,
@@ -101,4 +102,29 @@ func TestSeededCampaignDeterminism(t *testing.T) {
 	if got2 := fingerprintStats(st2); !reflect.DeepEqual(got2, got) {
 		t.Errorf("same seed, different results:\nfirst  %+v\nsecond %+v", got, got2)
 	}
+
+	// Same seed with the verdict cache armed: the cache is required to be
+	// a bit-identical rewrite of the verification pipeline — memoized
+	// verdicts, replayed coverage, and prefix-snapshot resumes must leave
+	// every compared dimension untouched. The cache must also actually be
+	// exercised, or this proves nothing.
+	cached := NewCampaign(CampaignConfig{
+		Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true,
+		Seed: 7, NoMinimize: true, Cache: vcache.NewStore(0),
+	})
+	st3, err := cached.Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 := fingerprintStats(st3); !reflect.DeepEqual(got3, got) {
+		t.Errorf("verdict cache changed campaign results:\ncache-off %+v\ncache-on  %+v", got, got3)
+	}
+	if st3.CacheHits == 0 {
+		t.Error("cache-on golden campaign recorded zero cache hits")
+	}
+	if st3.CacheHits+st3.CacheMisses == 0 || st3.CacheMisses == 0 {
+		t.Errorf("implausible cache counters: hits=%d misses=%d", st3.CacheHits, st3.CacheMisses)
+	}
+	t.Logf("cache-on golden campaign: %d hits / %d misses, %d prefix hits / %d prefix misses",
+		st3.CacheHits, st3.CacheMisses, st3.CachePrefixHits, st3.CachePrefixMisses)
 }

@@ -70,7 +70,7 @@ func (p *pstate) genBasicOp() {
 		} else {
 			p.emit(isa.StoreImm(isa.SizeDW, isa.R10, off, int32(p.r.Uint32()>>16)))
 		}
-		p.stack[off] = true
+		p.stack[-off/8] = true
 		if p.chance(160) {
 			dst := p.scratchReg()
 			sz := []uint8{isa.SizeB, isa.SizeH, isa.SizeW, isa.SizeDW}[p.r.Intn(4)]

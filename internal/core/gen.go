@@ -99,11 +99,13 @@ func NewGenerator(cfg GenConfig) *Generator {
 
 // pstate is the in-flight program being synthesized.
 type pstate struct {
-	r     *rand.Rand
-	cfg   *GenConfig
-	prog  *isa.Program
-	regs  [isa.MaxReg]genReg
-	stack map[int16]bool // initialized 8-byte-aligned fp offsets
+	r    *rand.Rand
+	cfg  *GenConfig
+	prog *isa.Program
+	regs [isa.MaxReg]genReg
+	// stack marks initialized 8-byte-aligned fp offsets; slot -8*i is
+	// stack[i], and freshStackSlot never hands out offsets below -248.
+	stack [32]bool
 	// nextStack is the next fresh stack offset to hand out.
 	nextStack int16
 	// pendingSize carries a mem-region size to its ArgSize argument.
@@ -123,10 +125,14 @@ func (p *pstate) chance(n int) bool { return p.r.Intn(256) < n }
 func (g *Generator) Generate(r *rand.Rand) *isa.Program {
 	pt := g.cfg.ProgTypes[r.Intn(len(g.cfg.ProgTypes))]
 	p := &pstate{
-		r:         r,
-		cfg:       &g.cfg,
-		prog:      &isa.Program{Type: pt, GPLCompatible: true, Name: "bvf_gen"},
-		stack:     make(map[int16]bool),
+		r:   r,
+		cfg: &g.cfg,
+		// Presized so the common program builds without append growth
+		// (typical generator output is well under 128 insns).
+		prog: &isa.Program{
+			Type: pt, GPLCompatible: true, Name: "bvf_gen",
+			Insns: make([]isa.Instruction, 0, 128),
+		},
 		nextStack: -8,
 	}
 	p.regs[isa.R1] = genReg{kind: kCtx}
@@ -212,7 +218,10 @@ func (p *pstate) padLarge() {
 	reg := p.scratchReg()
 	p.emit(isa.Mov64Imm(reg, 1))
 	p.regs[reg] = genReg{kind: kScalar}
-	for p.prog.Slots() < target {
+	// Count slots once and track the padding incrementally — every padding
+	// insn is single-slot, and rescanning the whole program per appended
+	// insn made padding quadratic in the target size.
+	for slots := p.prog.Slots(); slots < target; slots++ {
 		op := aluOps[p.r.Intn(len(aluOps))]
 		imm := int32(1 + p.r.Intn(127))
 		if op == isa.ALULsh || op == isa.ALURsh || op == isa.ALUArsh {
@@ -318,9 +327,12 @@ func (p *pstate) genFrame(depth int) {
 	}
 }
 
-// pickMap returns a random pooled map of the given type (0 = any).
+// pickMap returns a random pooled map of the given type (0 = any). The
+// candidate list lives in a stack buffer — map pools are small, and the
+// append only spills to the heap past 32 matches.
 func (p *pstate) pickMap(t maps.Type) *MapHandle {
-	var cand []*MapHandle
+	var buf [32]*MapHandle
+	cand := buf[:0]
 	for i := range p.cfg.Maps {
 		m := &p.cfg.Maps[i]
 		if t == 0 || m.Spec.Type == t {
@@ -335,7 +347,8 @@ func (p *pstate) pickMap(t maps.Type) *MapHandle {
 
 // pickReg returns a random register whose kind satisfies pred, or 0xff.
 func (p *pstate) pickReg(pred func(genReg) bool) uint8 {
-	var cand []uint8
+	var buf [isa.R10]uint8
+	cand := buf[:0]
 	for reg := uint8(0); reg < isa.R10; reg++ {
 		if pred(p.regs[reg]) {
 			cand = append(cand, reg)
@@ -355,7 +368,8 @@ func (p *pstate) scratchReg() uint8 {
 			return reg
 		}
 	}
-	var cand []uint8
+	var buf [4]uint8
+	cand := buf[:0]
 	for reg := isa.R6; reg <= isa.R9; reg++ {
 		if p.regs[reg].kind != kLoopCnt {
 			cand = append(cand, reg)
@@ -376,9 +390,9 @@ func (p *pstate) freshStackSlot(init bool) int16 {
 	} else {
 		off = int16(-8 * (1 + p.r.Intn(31)))
 	}
-	if init && !p.stack[off] {
+	if init && !p.stack[-off/8] {
 		p.emit(isa.StoreImm(isa.SizeDW, isa.R10, off, int32(p.r.Intn(256))))
-		p.stack[off] = true
+		p.stack[-off/8] = true
 	}
 	return off
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/coverage"
+	"repro/internal/vcache"
 )
 
 // ErrStopped is returned by ParallelCampaign.Run when Stop interrupted
@@ -44,6 +45,13 @@ type ParallelConfig struct {
 	// CheckpointEvery is the checkpoint cadence in coordinator rounds.
 	// Default 8.
 	CheckpointEvery int
+	// SharedCache, when non-nil, is the cross-shard verdict cache. Every
+	// shard gets a *vcache.Shard view: mid-round lookups see the frozen
+	// global store plus the shard's own inserts, and the coordinator
+	// publishes pending entries at the round barrier in shard-index order
+	// (single-writer insert), so cache contents never depend on the
+	// goroutine schedule. Overrides CampaignConfig.Cache.
+	SharedCache *vcache.Store
 }
 
 // ParallelCampaign runs N worker shards, each an ordinary Campaign with
@@ -63,6 +71,12 @@ type ParallelCampaign struct {
 	shards []*Campaign
 	global *coverage.Map
 	stats  *Stats
+
+	// caches holds each shard's view of cfg.SharedCache (nil entries when
+	// the cache is off). Pending inserts are published in sync(), and the
+	// publish wall clock lands in cacheNanos (the "cache" stage).
+	caches     []*vcache.Shard
+	cacheNanos int64
 
 	// Supervision state, touched only at round barriers.
 	restarts   []int  // shard restarts so far (circuit-breaker input)
@@ -123,11 +137,16 @@ func NewParallelCampaign(cfg ParallelConfig) *ParallelCampaign {
 		restarts: make([]int, cfg.Workers),
 		dead:     make([]bool, cfg.Workers),
 	}
+	p.caches = make([]*vcache.Shard, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		sc := cfg.CampaignConfig
 		sc.Seed = cfg.Seed + int64(i)
 		sc.OnIteration = func() { p.liveIters.Add(1) }
 		sc.OnStage = p.recordStage
+		if cfg.SharedCache != nil {
+			p.caches[i] = cfg.SharedCache.NewShard()
+			sc.Cache = p.caches[i]
+		}
 		// Shards skip reproducer minimization: every shard rediscovers
 		// roughly the same bug set, and minimization dominates the
 		// per-shard fixed cost (~80% measured). mergeStats minimizes
@@ -302,6 +321,12 @@ func (p *ParallelCampaign) rebuildShard(i int) {
 	sc.OnIteration = func() { p.liveIters.Add(1) }
 	sc.OnStage = p.recordStage
 	sc.NoMinimize = true
+	if p.cfg.SharedCache != nil {
+		// Fresh view: the crashed round's pending inserts are untrusted
+		// (the panic may have landed mid-insert) and are dropped with it.
+		p.caches[i] = p.cfg.SharedCache.NewShard()
+		sc.Cache = p.caches[i]
+	}
 	nc := NewCampaign(sc)
 	nc.stats = old.stats
 	nc.stats.ShardRestarts++
@@ -377,6 +402,17 @@ func (p *ParallelCampaign) sync() {
 			}
 		}
 	}
+	if p.cfg.SharedCache != nil {
+		// Single-writer insert: pending shard entries reach the global
+		// store here, in shard-index order, while every shard is parked.
+		t0 := time.Now()
+		for _, sc := range p.caches {
+			if sc != nil {
+				sc.Publish()
+			}
+		}
+		p.cacheNanos += int64(time.Since(t0))
+	}
 	p.recordRound()
 }
 
@@ -437,6 +473,11 @@ func (p *ParallelCampaign) mergeStats() {
 			t.HarnessCrashes = append(t.HarnessCrashes, h)
 		}
 		merged.Merge(&t)
+	}
+	// Coordinator-side cache maintenance (barrier publishes) is booked as
+	// its own stage so shard stage shares still describe shard work.
+	if p.cacheNanos > 0 {
+		merged.StageNanos["cache"] += p.cacheNanos
 	}
 	// Shard-level crashes (caught by the goroutine supervisor rather than
 	// the per-iteration containment) live on the coordinator, not in any
@@ -517,10 +558,15 @@ func (p *ParallelCampaign) startReporter() func() {
 							100*float64(stageNS[i])/float64(totalNS))
 					}
 				}
+				cacheShare := ""
+				if p.cfg.SharedCache != nil {
+					cacheShare = fmt.Sprintf("  cache %.0f%%",
+						100*p.cfg.SharedCache.HitRate())
+				}
 				fmt.Fprintf(p.cfg.Progress,
-					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d%s\n",
+					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d%s%s\n",
 					now.Sub(start).Round(time.Second), iters, rate, 100*acc,
-					p.liveCoverage.Load(), p.liveBugs.Load(), stages)
+					p.liveCoverage.Load(), p.liveBugs.Load(), stages, cacheShare)
 			}
 		}
 	}()

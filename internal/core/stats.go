@@ -104,6 +104,17 @@ type Stats struct {
 	// ShardRestarts counts supervised shard rebuilds after shard-level
 	// panics.
 	ShardRestarts int
+
+	// Verdict-cache effectiveness (CampaignConfig.Cache /
+	// ParallelConfig.SharedCache only; all zero otherwise). Hits/Misses
+	// count whole-program verdict lookups, the Prefix pair counts
+	// linear-prefix snapshot lookups, and CacheInsertedBytes estimates the
+	// memory volume of the entries this campaign inserted.
+	CacheHits          int64
+	CacheMisses        int64
+	CachePrefixHits    int64
+	CachePrefixMisses  int64
+	CacheInsertedBytes int64
 }
 
 // TimeoutRecord is one watchdog-tripped program kept for triage.
@@ -258,6 +269,11 @@ func (s *Stats) Merge(other *Stats) {
 	}
 	s.CrashCount += other.CrashCount
 	s.ShardRestarts += other.ShardRestarts
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.CachePrefixHits += other.CachePrefixHits
+	s.CachePrefixMisses += other.CachePrefixMisses
+	s.CacheInsertedBytes += other.CacheInsertedBytes
 	s.Curve = mergeCurves(s.Curve, other.Curve)
 }
 

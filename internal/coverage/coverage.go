@@ -15,6 +15,15 @@ import (
 // Site is a stable identifier for one branch site in the instrumented code.
 type Site uint64
 
+// SiteCount is one covered site with its hit count, the unit of
+// deterministic coverage replay: a verdict cache stores the exact
+// (site, count) profile a verification produced and AddSites replays it
+// on a hit, so cached and scratch runs build bit-identical maps.
+type SiteCount struct {
+	Site  Site
+	Count uint64
+}
+
 // FNV-1a parameters, inlined so SiteOf never allocates a hash.Hash64.
 const (
 	fnvOffset64 = 14695981039346656037
@@ -168,6 +177,29 @@ func (m *Map) snapshotCounts() map[Site]uint64 {
 	return snap
 }
 
+// AddSites folds a recorded (site, count) profile into m under one lock
+// acquisition and returns how many sites were new to m — exactly the
+// effect of replaying every hit individually. Verdict-cache hits use it
+// to reproduce a memoized verification's coverage without re-verifying.
+func (m *Map) AddSites(sites []SiteCount) int {
+	if m == nil || len(sites) == 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fresh := 0
+	for _, sc := range sites {
+		if _, ok := m.sites[sc.Site]; !ok {
+			fresh++
+		}
+		m.sites[sc.Site] += sc.Count
+	}
+	if fresh > 0 {
+		m.invalidateLocked()
+	}
+	return fresh
+}
+
 // Reset clears all recorded coverage.
 func (m *Map) Reset() {
 	m.mu.Lock()
@@ -209,7 +241,13 @@ func (m *Map) MarshalBinary() ([]byte, error) {
 	if m == nil {
 		return nil, nil
 	}
-	sites := m.Snapshot()
+	// One write lock for the whole walk: taking Snapshot() first and
+	// re-locking to read the counts would let a concurrent Hit/Merge land
+	// between the two, serializing a site list from one instant with
+	// counts from another (a torn snapshot under checkpoint-while-running).
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sites := m.sortedLocked()
 	out := make([]byte, 0, 8+16*len(sites))
 	var b [8]byte
 	put := func(v uint64) {
@@ -219,8 +257,6 @@ func (m *Map) MarshalBinary() ([]byte, error) {
 		out = append(out, b[:]...)
 	}
 	put(uint64(len(sites)))
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	for _, s := range sites {
 		put(uint64(s))
 		put(m.sites[s])

@@ -1,5 +1,7 @@
 package coverage
 
+import "slices"
+
 // Local is an unsynchronized per-run coverage recorder. One verification
 // (or one campaign iteration) records every hit into its Local without
 // touching a lock, then folds the whole batch into the shared Map with a
@@ -32,6 +34,45 @@ func (l *Local) Len() int {
 		return 0
 	}
 	return len(l.sites)
+}
+
+// Export returns the recorded (site, count) profile in deterministic
+// (sorted-by-site) order without clearing the recorder. Verdict caches
+// capture it at the end of a verification so a later hit can replay the
+// exact profile with Map.AddSites.
+func (l *Local) Export() []SiteCount {
+	if l == nil || len(l.sites) == 0 {
+		return nil
+	}
+	out := make([]SiteCount, 0, len(l.sites))
+	for s, n := range l.sites {
+		out = append(out, SiteCount{Site: s, Count: n})
+	}
+	// The generic sort avoids sort.Slice's reflection swapper — Export
+	// runs once per cache-missing verification.
+	slices.SortFunc(out, func(a, b SiteCount) int {
+		switch {
+		case a.Site < b.Site:
+			return -1
+		case a.Site > b.Site:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// AddSites replays a recorded profile into the local recorder, as if
+// every hit had been recorded individually. Prefix-snapshot restores use
+// it to rebuild the coverage a resumed verification's skipped prefix
+// would have produced.
+func (l *Local) AddSites(sites []SiteCount) {
+	if l == nil {
+		return
+	}
+	for _, sc := range sites {
+		l.sites[sc.Site] += sc.Count
+	}
 }
 
 // FlushTo folds every recorded hit into m under one lock acquisition and

@@ -1,0 +1,80 @@
+package coverage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSignatureMergeFlush hammers the operations that share the
+// map's sorted-snapshot/signature cache from many goroutines. Run with
+// -race: the bug this pins down was Signature and MarshalBinary taking the
+// read lock to consult the cache but mutating it without upgrading, so a
+// concurrent Merge or FlushTo could observe a half-built snapshot.
+func TestConcurrentSignatureMergeFlush(t *testing.T) {
+	m := NewMap()
+	for i := 0; i < 64; i++ {
+		m.HitLoc(fmt.Sprintf("seed:%d", i))
+	}
+
+	const goroutines = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+
+	// Readers: Signature and MarshalBinary both populate the lazy cache.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_ = m.Signature()
+				if _, err := m.MarshalBinary(); err != nil {
+					t.Errorf("MarshalBinary: %v", err)
+					return
+				}
+				_ = m.Count()
+				_ = m.Snapshot()
+			}
+		}()
+	}
+
+	// Writers: Merge invalidates the cache under the write lock.
+	for g := 0; g < goroutines/2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				other := NewMap()
+				other.HitLoc(fmt.Sprintf("merge:%d:%d", g, i))
+				m.Merge(other)
+			}
+		}(g)
+	}
+
+	// Local flushes: the verifier hot path's per-program buffers draining
+	// into the shared map.
+	for g := 0; g < goroutines/2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l := NewLocal()
+				l.HitLoc(fmt.Sprintf("flush:%d:%d", g, i))
+				l.HitLoc("seed:0")
+				l.FlushTo(m)
+			}
+		}(g)
+	}
+
+	wg.Wait()
+
+	// The map must have absorbed every distinct site exactly once.
+	want := 64 + goroutines/2*rounds*2 // seeds + merge:* + flush:*
+	if got := m.Count(); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+	// The signature over the final state must be stable.
+	if a, b := m.Signature(), m.Signature(); a != b {
+		t.Errorf("Signature unstable: %#x vs %#x", a, b)
+	}
+}

@@ -157,21 +157,58 @@ func (p *Program) Validate(maxInsns int) error {
 	if len(p.Insns) == 0 {
 		return ErrNoInsns
 	}
-	if p.Slots() > maxInsns {
-		return fmt.Errorf("isa: program has %d slots, limit %d", p.Slots(), maxInsns)
+	// One pass builds both slot tables; the per-jump target checks below
+	// are then O(1) instead of rescanning the program (the old
+	// SlotOf/IndexOfSlot calls per jump made validation quadratic). The
+	// fixed buffers keep typical programs (generator output tops out
+	// around a thousand slots) entirely on the stack.
+	n := len(p.Insns)
+	var slotBuf [1024]int32
+	var idxBuf [2048]int32
+	slotOf := slotBuf[:0]
+	if n > len(slotBuf) {
+		slotOf = make([]int32, 0, n)
+	}
+	slots := 0
+	for _, ins := range p.Insns {
+		slotOf = append(slotOf, int32(slots))
+		slots++
+		if ins.IsWide() {
+			slots++
+		}
+	}
+	if slots > maxInsns {
+		return fmt.Errorf("isa: program has %d slots, limit %d", slots, maxInsns)
+	}
+	// idxOf[s] is the decoded index + 1 of the insn starting at slot s;
+	// 0 marks the second half of an LD_IMM64.
+	idxOf := idxBuf[:slots]
+	if slots > len(idxBuf) {
+		idxOf = make([]int32, slots)
+	} else {
+		for i := range idxOf {
+			idxOf[i] = 0
+		}
+	}
+	for i := range p.Insns {
+		idxOf[slotOf[i]] = int32(i) + 1
 	}
 	for i, ins := range p.Insns {
 		if err := ins.Validate(); err != nil {
 			return fmt.Errorf("insn %d: %w", i, err)
 		}
 		if ins.IsCondJump() || ins.IsUncondJump() {
-			if err := p.checkJumpTarget(i, ins); err != nil {
-				return err
+			tgt := int(slotOf[i]) + 1 + int(ins.Off)
+			if tgt < 0 || tgt >= slots {
+				return fmt.Errorf("insn %d: jump target slot %d out of range [0,%d)", i, tgt, slots)
+			}
+			if idxOf[tgt] == 0 {
+				return fmt.Errorf("insn %d: jump into the middle of ld_imm64", i)
 			}
 		}
 		if ins.IsPseudoCall() {
-			tgt := p.SlotOf(i) + 1 + int(ins.Imm)
-			if idx := p.IndexOfSlot(tgt); idx < 0 {
+			tgt := int(slotOf[i]) + 1 + int(ins.Imm)
+			if tgt < 0 || tgt >= slots || idxOf[tgt] == 0 {
 				return fmt.Errorf("insn %d: pseudo call target %d out of range", i, tgt)
 			}
 		}
@@ -179,17 +216,6 @@ func (p *Program) Validate(maxInsns int) error {
 	last := p.Insns[len(p.Insns)-1]
 	if !last.IsExit() && !last.IsUncondJump() {
 		return fmt.Errorf("isa: last insn is not an exit or jump")
-	}
-	return nil
-}
-
-func (p *Program) checkJumpTarget(i int, ins Instruction) error {
-	tgt := p.SlotOf(i) + 1 + int(ins.Off)
-	if tgt < 0 || tgt >= p.Slots() {
-		return fmt.Errorf("insn %d: jump target slot %d out of range [0,%d)", i, tgt, p.Slots())
-	}
-	if p.IndexOfSlot(tgt) < 0 {
-		return fmt.Errorf("insn %d: jump into the middle of ld_imm64", i)
 	}
 	return nil
 }

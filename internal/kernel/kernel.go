@@ -104,6 +104,10 @@ type Config struct {
 	// registers against it. Off by default — recording and the extra
 	// execution are not part of the zero-alloc hot path.
 	Oracle bool
+	// Cache, when non-nil, memoizes verifier verdicts across LoadProgram
+	// calls (and across kernel recycles — entries rebind map FDs on every
+	// hit). Triage re-verification always bypasses it.
+	Cache verifier.Cache
 }
 
 // Kernel is one simulated kernel instance.
@@ -116,6 +120,16 @@ type Kernel struct {
 
 	dispatcherProg    *LoadedProg
 	dispatcherUpdates int
+
+	// Bound method values for VerifierConfig, captured once — taking
+	// k.M.MapByFD per call allocates a fresh closure each time.
+	mapByFD    func(int32) *maps.Map
+	btfVarAddr func(int32) uint64
+	// vcfg is VerifierConfig's reusable result; every field is
+	// reassigned on each call, so callers that tweak the returned
+	// config (the triage re-verification loop) never see stale edits.
+	// A kernel is single-goroutine, like the machine it wraps.
+	vcfg verifier.Config
 
 	// Oracle counters (Config.Oracle only): claims asserted, violations
 	// found, and wall-clock nanoseconds spent in oracle replays. Campaigns
@@ -202,18 +216,24 @@ func (k *Kernel) MapByFD(fd int32) *maps.Map { return k.M.MapByFD(fd) }
 
 // VerifierConfig assembles the verifier configuration for this kernel.
 func (k *Kernel) VerifierConfig() *verifier.Config {
-	return &verifier.Config{
+	if k.mapByFD == nil {
+		k.mapByFD = k.M.MapByFD
+		k.btfVarAddr = k.M.BTFVarAddr
+	}
+	k.vcfg = verifier.Config{
 		Bugs:             k.Cfg.Bugs,
 		Helpers:          k.M.Helpers,
 		BTF:              k.M.BTF,
-		MapByFD:          k.M.MapByFD,
-		BTFVarAddr:       k.M.BTFVarAddr,
+		MapByFD:          k.mapByFD,
+		BTFVarAddr:       k.btfVarAddr,
 		Cov:              k.Cfg.Cov,
 		MaxInsnProcessed: k.Cfg.VerifierBudget,
 		DisableKfuncs:    !k.Cfg.Version.HasKfuncs(),
 		Timeout:          k.Cfg.VerifyTimeout,
 		RecordStates:     k.Cfg.Oracle,
+		Cache:            k.Cfg.Cache,
 	}
+	return &k.vcfg
 }
 
 // SyscallBugError models Bug #8: the bpf(2) syscall fails with a kernel
@@ -428,6 +448,33 @@ func Classify(err error) *Anomaly {
 	if err == nil {
 		return nil
 	}
+	// Fast path: faults arrive as their concrete types (nothing in this
+	// kernel wraps them), and every errors.As probe below costs a heap
+	// cell for its escaping target. The type switch answers the common
+	// cases allocation-free; unknown or wrapped errors fall through to
+	// the errors.As chain, which stays authoritative.
+	switch e := err.(type) {
+	case *verifier.Error, *runtime.StepLimitError, *verifier.TimeoutError, *runtime.WatchdogError:
+		return nil
+	case *kmem.Report:
+		return &Anomaly{Kind: "kasan:" + e.Kind.String(), Indicator: Indicator1, Err: err}
+	case *kmem.FaultError:
+		return &Anomaly{Kind: "kernel-oops", Indicator: Indicator1, Err: err}
+	case *runtime.RangeViolationError:
+		return &Anomaly{Kind: "alu-limit-violation", Indicator: Indicator1, Err: err}
+	case *oracle.Violation:
+		return &Anomaly{Kind: "soundness:" + e.Check, Indicator: IndicatorSoundness, Err: err}
+	case *lockdep.Violation:
+		return &Anomaly{Kind: "lockdep:" + e.Kind.String(), Indicator: Indicator2, Err: err}
+	case *trace.RecursionError:
+		return &Anomaly{Kind: "trace-recursion", Indicator: Indicator2, Err: err}
+	case *helpers.PanicError:
+		return &Anomaly{Kind: "kernel-panic", Indicator: Indicator2, Err: err}
+	case *SyscallBugError:
+		return &Anomaly{Kind: "syscall-warning", Indicator: IndicatorNone, Err: err}
+	case *XDPEnvError:
+		return &Anomaly{Kind: "xdp-env", Indicator: IndicatorNone, Err: err}
+	}
 	var step *runtime.StepLimitError
 	if errors.As(err, &step) {
 		return nil
@@ -550,6 +597,12 @@ func (k *Kernel) Triage(a *Anomaly, prog *isa.Program) bugs.ID {
 			cfg := k.VerifierConfig()
 			cfg.Bugs = weakened
 			cfg.Cov = nil
+			// Never consult the verdict cache here: its entries were
+			// produced under the full bug set, and a weakened-knob
+			// re-verification answering from the cache would misattribute
+			// every finding. (Cov == nil also gates the cache off, but the
+			// bypass must not depend on that coincidence.)
+			cfg.Cache = nil
 			if _, err := verifier.Verify(prog, cfg); err != nil {
 				return id
 			}

@@ -167,6 +167,6 @@ func (v *Validator) Violations() []*Violation { return v.violations }
 // Reset clears per-context state and the violation list but keeps the
 // learned dependency graph, as the real validator does across tasks.
 func (v *Validator) Reset() {
-	v.contexts = make(map[string][]*Class)
+	clear(v.contexts)
 	v.violations = nil
 }

@@ -43,8 +43,14 @@ type Exec struct {
 	rets   []int              // return addresses (decoded indices)
 	saved  [][5]uint64        // caller R6-R9 + R10 per frame
 
-	slotOf []int
-	idxOf  map[int]int
+	slotOf []int32 // decoded index -> encoded slot
+	// idxOf maps an encoded slot to its decoded index + 1; 0 marks the
+	// second half of an LD_IMM64 (not a valid jump target).
+	idxOf []int32
+
+	// henv is the helpers.Env handed to helper implementations,
+	// embedded so each call does not allocate a fresh one.
+	henv execEnv
 
 	// tailCalls counts chained bpf_tail_call transfers.
 	tailCalls int
@@ -101,12 +107,25 @@ func NewExec(m *Machine, prog *isa.Program) *Exec {
 		Prog:   prog,
 		limit:  DefaultStepLimit,
 		ctxCtx: "cpu0",
-		idxOf:  make(map[int]int),
 	}
+	// One incremental pass builds both slot tables (the old per-insn
+	// SlotOf calls rescanned the program, making setup quadratic). Both
+	// tables share one backing allocation: the worst case is two slots
+	// per instruction, so len(prog.Insns)*3 covers slotOf plus idxOf.
+	n := len(prog.Insns)
+	buf := make([]int32, n*3)
+	x.slotOf = buf[:n:n]
+	slot := int32(0)
 	for i := range prog.Insns {
-		s := prog.SlotOf(i)
-		x.slotOf = append(x.slotOf, s)
-		x.idxOf[s] = i
+		x.slotOf[i] = slot
+		slot += 1
+		if prog.Insns[i].IsWide() {
+			slot++
+		}
+	}
+	x.idxOf = buf[n : n+int(slot)]
+	for i := range prog.Insns {
+		x.idxOf[x.slotOf[i]] = int32(i) + 1
 	}
 	return x
 }
@@ -585,15 +604,14 @@ func (x *Exec) execJmp(pc int, ins isa.Instruction) (next int, done bool, err er
 }
 
 func (x *Exec) target(pc int, off int32) (int, bool, error) {
-	slot := x.slotOf[pc] + 1 + int(off)
+	slot := int(x.slotOf[pc]) + 1 + int(off)
 	if x.Prog.Insns[pc].IsWide() {
 		slot++
 	}
-	idx, ok := x.idxOf[slot]
-	if !ok {
+	if slot < 0 || slot >= len(x.idxOf) || x.idxOf[slot] == 0 {
 		return 0, false, fmt.Errorf("runtime: jump to invalid slot %d", slot)
 	}
-	return idx, false, nil
+	return int(x.idxOf[slot]) - 1, false, nil
 }
 
 func (x *Exec) execCall(pc int, ins isa.Instruction) (int, bool, error) {
@@ -645,7 +663,10 @@ func (x *Exec) execCall(pc int, ins isa.Instruction) (int, bool, error) {
 		return 0, false, fmt.Errorf("runtime: unknown helper %d", ins.Imm)
 	}
 	args := [5]uint64{x.regs[isa.R1], x.regs[isa.R2], x.regs[isa.R3], x.regs[isa.R4], x.regs[isa.R5]}
-	ret, err := h.Impl(&execEnv{x: x}, args)
+	if x.henv.x == nil {
+		x.henv.x = x
+	}
+	ret, err := h.Impl(&x.henv, args)
 	if err != nil {
 		return 0, false, err
 	}

@@ -26,6 +26,7 @@ package sanitizer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/helpers"
 	"repro/internal/isa"
@@ -58,58 +59,116 @@ func (s *Stats) Footprint() float64 {
 	return float64(s.OutSlots) / float64(s.OrigSlots)
 }
 
+// scratch holds Instrument's per-call working tables so a hot fuzzing
+// loop reuses their backing arrays instead of reallocating them for every
+// accepted program. Only the output program escapes a call.
+type scratch struct {
+	rcOf       []int32 // orig idx -> index+1 into rcs (0 = no check)
+	rcs        []verifier.RangeCheck
+	blockStart []int32 // orig idx -> new idx of its block
+	origPos    []int32 // orig idx -> new idx of the original insn
+	memCheck   []bool  // orig idx -> memCheckable (computed once)
+	newSlot    []int32 // new idx -> slot (prefix sums, len+1)
+	origSlot   []int32 // orig idx -> slot (prefix sums, len+1)
+	idxOfSlot  []int32 // orig slot -> orig idx+1 (0 = mid-ld_imm64)
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
 // Instrument rewrites prog (the verifier's fixed-up output) and returns
 // the sanitized program plus statistics. checks are the verifier's
 // recorded pointer-arithmetic range beliefs.
 func Instrument(prog *isa.Program, checks []verifier.RangeCheck) (*isa.Program, *Stats, error) {
 	stats := &Stats{OrigSlots: prog.Slots()}
-	rcByInsn := make(map[int]verifier.RangeCheck, len(checks))
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	n := len(prog.Insns)
+	sc.rcOf = growI32(sc.rcOf, n)
+	for i := range sc.rcOf {
+		sc.rcOf[i] = 0
+	}
+	sc.rcs = sc.rcs[:0]
 	for _, rc := range checks {
 		// Fully widened checks (neutralized by ptr/scalar path mixes)
 		// can never fire; skip the dead instrumentation.
 		if rc.SMin == math.MinInt64 && rc.SMax == math.MaxInt64 {
 			continue
 		}
-		rcByInsn[rc.InsnIdx] = rc
+		if rc.InsnIdx >= 0 && rc.InsnIdx < n {
+			sc.rcs = append(sc.rcs, rc)
+			sc.rcOf[rc.InsnIdx] = int32(len(sc.rcs))
+		}
 	}
 
+	// Size the output exactly in a cheap pre-pass (a range-check block is
+	// 9 insns, a mem-check block 7) so it is built in one allocation.
+	if cap(sc.memCheck) < n {
+		sc.memCheck = make([]bool, n)
+	} else {
+		sc.memCheck = sc.memCheck[:n]
+	}
+	outCap := n
+	for i, ins := range prog.Insns {
+		if sc.rcOf[i] != 0 {
+			outCap += 9
+		}
+		sc.memCheck[i] = memCheckable(ins)
+		if sc.memCheck[i] {
+			outCap += 7
+		}
+	}
 	out := &isa.Program{
 		Type: prog.Type, Name: prog.Name,
 		AttachTo: prog.AttachTo, GPLCompatible: prog.GPLCompatible,
+		Insns: make([]isa.Instruction, 0, outCap),
 	}
-	blockStart := make([]int, len(prog.Insns)) // orig idx -> new idx of its block
-	origPos := make([]int, len(prog.Insns))    // orig idx -> new idx of the original insn
+	sc.blockStart = growI32(sc.blockStart, n)
+	sc.origPos = growI32(sc.origPos, n)
 
 	for i, ins := range prog.Insns {
-		blockStart[i] = len(out.Insns)
-		if rc, ok := rcByInsn[i]; ok {
-			out.Insns = append(out.Insns, rangeCheckBlock(rc)...)
+		sc.blockStart[i] = int32(len(out.Insns))
+		if ri := sc.rcOf[i]; ri != 0 {
+			out.Insns = appendRangeCheckBlock(out.Insns, sc.rcs[ri-1])
 			stats.RangeChecks++
 		}
-		if pre, ok := memCheckBlock(ins); ok {
-			out.Insns = append(out.Insns, pre...)
+		if sc.memCheck[i] {
+			out.Insns = appendMemCheckBlock(out.Insns, ins)
 			stats.MemChecks++
 			ins.Meta.Sanitized = true
 		} else if ins.IsMemLoad() || ins.IsMemStore() || ins.IsAtomic() {
 			stats.Skipped++
 		}
-		origPos[i] = len(out.Insns)
+		sc.origPos[i] = int32(len(out.Insns))
 		out.Insns = append(out.Insns, ins)
 	}
 
 	// Recompute jump offsets: original jumps must land on the *block
 	// start* of their target so instrumentation is never bypassed.
-	newSlot := make([]int, len(out.Insns)+1)
+	sc.newSlot = growI32(sc.newSlot, len(out.Insns)+1)
+	sc.newSlot[0] = 0
 	for i := range out.Insns {
-		newSlot[i+1] = newSlot[i] + widthOf(out.Insns[i])
+		sc.newSlot[i+1] = sc.newSlot[i] + int32(widthOf(out.Insns[i]))
 	}
-	origSlot := make([]int, len(prog.Insns)+1)
+	sc.origSlot = growI32(sc.origSlot, n+1)
+	sc.origSlot[0] = 0
 	for i := range prog.Insns {
-		origSlot[i+1] = origSlot[i] + widthOf(prog.Insns[i])
+		sc.origSlot[i+1] = sc.origSlot[i] + int32(widthOf(prog.Insns[i]))
 	}
-	origIdxOfSlot := make(map[int]int, len(prog.Insns))
+	totalSlots := int(sc.origSlot[n])
+	sc.idxOfSlot = growI32(sc.idxOfSlot, totalSlots)
+	for i := range sc.idxOfSlot {
+		sc.idxOfSlot[i] = 0
+	}
 	for i := range prog.Insns {
-		origIdxOfSlot[origSlot[i]] = i
+		sc.idxOfSlot[sc.origSlot[i]] = int32(i) + 1
 	}
 
 	for i, ins := range prog.Insns {
@@ -123,12 +182,13 @@ func Instrument(prog *isa.Program, checks []verifier.RangeCheck) (*isa.Program, 
 		} else {
 			delta = int32(ins.Off)
 		}
-		tgtOrig, ok := origIdxOfSlot[origSlot[i]+widthOf(ins)+int(delta)]
-		if !ok {
+		tgtSlot := int(sc.origSlot[i]) + widthOf(ins) + int(delta)
+		if tgtSlot < 0 || tgtSlot >= totalSlots || sc.idxOfSlot[tgtSlot] == 0 {
 			return nil, nil, fmt.Errorf("sanitizer: insn %d jumps to unmapped slot", i)
 		}
-		p := origPos[i]
-		newOff := newSlot[blockStart[tgtOrig]] - (newSlot[p] + widthOf(out.Insns[p]))
+		tgtOrig := int(sc.idxOfSlot[tgtSlot]) - 1
+		p := sc.origPos[i]
+		newOff := int(sc.newSlot[sc.blockStart[tgtOrig]]) - (int(sc.newSlot[p]) + widthOf(out.Insns[p]))
 		if ins.IsPseudoCall() {
 			out.Insns[p].Imm = int32(newOff)
 		} else {
@@ -150,16 +210,17 @@ func widthOf(ins isa.Instruction) int {
 	return 1
 }
 
-// memCheckBlock builds the dispatch block for one memory access, or
-// returns ok=false when the access is skipped by the reduction rules.
-func memCheckBlock(ins isa.Instruction) ([]isa.Instruction, bool) {
+// memCheckable reports whether the reduction rules let ins be dispatched
+// to a bpf_asan check: loads/stores not emitted by other rewrite passes,
+// not probe reads, and not R10-based constant accesses.
+func memCheckable(ins isa.Instruction) bool {
 	isLoad := ins.IsMemLoad()
 	isStore := ins.IsMemStore() || ins.IsAtomic()
 	if !isLoad && !isStore {
-		return nil, false
+		return false
 	}
 	if ins.Meta.RewriteEmitted || ins.Meta.Sanitized {
-		return nil, false
+		return false
 	}
 	// Probe reads are exception-handled by design: the kernel tolerates
 	// faulting addresses there (trusted BTF pointers may be null), so
@@ -167,7 +228,7 @@ func memCheckBlock(ins isa.Instruction) ([]isa.Instruction, bool) {
 	// splats. KASAN still observes genuinely invalid probe reads into
 	// mapped objects via its own instrumentation of the probe path.
 	if ins.Meta.ProbeMem {
-		return nil, false
+		return false
 	}
 	var base uint8
 	if isLoad {
@@ -176,8 +237,18 @@ func memCheckBlock(ins isa.Instruction) ([]isa.Instruction, bool) {
 		base = ins.Dst
 	}
 	// R10-based constant accesses are validated statically (§4.2).
-	if base == isa.R10 {
-		return nil, false
+	return base != isa.R10
+}
+
+// appendMemCheckBlock appends the 7-insn dispatch block for one memory
+// access (the caller has already established memCheckable).
+func appendMemCheckBlock(dst []isa.Instruction, ins isa.Instruction) []isa.Instruction {
+	isLoad := ins.IsMemLoad()
+	var base uint8
+	if isLoad {
+		base = ins.Src
+	} else {
+		base = ins.Dst
 	}
 	size := ins.AccessSize()
 	var callID int32
@@ -187,55 +258,56 @@ func memCheckBlock(ins isa.Instruction) ([]isa.Instruction, bool) {
 		callID = helpers.AsanStoreID(size)
 	}
 
-	b := []isa.Instruction{
+	start := len(dst)
+	dst = append(dst,
 		isa.Mov64Reg(isa.R11, isa.R1),                       // backup R1
 		isa.StoreMem(isa.SizeDW, isa.R10, isa.R0, r0Backup), // backup R0
-	}
+	)
 	if base == isa.R1 {
-		b = append(b, isa.Mov64Reg(isa.R1, isa.R11))
+		dst = append(dst, isa.Mov64Reg(isa.R1, isa.R11))
 	} else {
-		b = append(b, isa.Mov64Reg(isa.R1, base))
+		dst = append(dst, isa.Mov64Reg(isa.R1, base))
 	}
-	b = append(b,
+	dst = append(dst,
 		isa.Alu64Imm(isa.ALUAdd, isa.R1, int32(ins.Off)),
 		isa.Call(callID),
 		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, r0Backup), // restore R0
 		isa.Mov64Reg(isa.R1, isa.R11),                      // restore R1
 	)
-	for i := range b {
-		b[i].Meta.RewriteEmitted = true
+	for i := start; i < len(dst); i++ {
+		dst[i].Meta.RewriteEmitted = true
 	}
-	return b, true
+	return dst
 }
 
-// rangeCheckBlock builds the alu_limit assertion for a pointer-arithmetic
-// site: if the scalar register's runtime value escapes the verifier's
-// believed signed range, bpf_asan reports the violation. The asserted
-// register value is passed in R1.
-func rangeCheckBlock(rc verifier.RangeCheck) []isa.Instruction {
+// appendRangeCheckBlock appends the 9-insn alu_limit assertion for a
+// pointer-arithmetic site: if the scalar register's runtime value escapes
+// the verifier's believed signed range, bpf_asan reports the violation.
+// The asserted register value is passed in R1.
+func appendRangeCheckBlock(dst []isa.Instruction, rc verifier.RangeCheck) []isa.Instruction {
 	smin := clampI32(rc.SMin)
 	smax := clampI32(rc.SMax)
-	var b []isa.Instruction
-	b = append(b,
+	start := len(dst)
+	dst = append(dst,
 		isa.Mov64Reg(isa.R11, isa.R1),                       // backup R1
 		isa.StoreMem(isa.SizeDW, isa.R10, isa.R0, r0Backup), // backup R0 (call may report)
 	)
 	if rc.Reg == isa.R1 {
-		b = append(b, isa.Mov64Reg(isa.R1, isa.R11))
+		dst = append(dst, isa.Mov64Reg(isa.R1, isa.R11))
 	} else {
-		b = append(b, isa.Mov64Reg(isa.R1, rc.Reg))
+		dst = append(dst, isa.Mov64Reg(isa.R1, rc.Reg))
 	}
-	b = append(b,
+	dst = append(dst,
 		isa.JumpImm(isa.JSLT, isa.R1, smin, 1), // below believed min -> report
 		isa.JumpImm(isa.JSLE, isa.R1, smax, 1), // within -> skip report
 		isa.Call(helpers.AsanRangeViolation),
 		isa.LoadMem(isa.SizeDW, isa.R0, isa.R10, r0Backup),
 		isa.Mov64Reg(isa.R1, isa.R11),
 	)
-	for i := range b {
-		b[i].Meta.RewriteEmitted = true
+	for i := start; i < len(dst); i++ {
+		dst[i].Meta.RewriteEmitted = true
 	}
-	return b
+	return dst
 }
 
 func clampI32(v int64) int32 {

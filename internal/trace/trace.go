@@ -86,9 +86,13 @@ func (m *Manager) Attach(name string, h Handler) error {
 	return nil
 }
 
-// Detach removes every handler from the named tracepoint.
+// Detach removes every handler from the named tracepoint. The slice is
+// truncated in place so the attach/detach churn of a fuzzing loop reuses
+// its backing array.
 func (m *Manager) Detach(name string) {
-	delete(m.handlers, name)
+	if hs, ok := m.handlers[name]; ok {
+		m.handlers[name] = hs[:0]
+	}
 }
 
 // Fire triggers the named tracepoint, invoking each attached handler. If

@@ -26,16 +26,18 @@ func (e *env) recordRangeCheck(i int, reg uint8, scalar *RegState) {
 			InsnIdx: i, Reg: reg,
 			SMin: math.MinInt64, SMax: math.MaxInt64, UMax: math.MaxUint64,
 		}
+		e.rcSet[i] = true
 		return
 	}
-	rc, ok := e.rangeChecks[i]
-	if !ok {
+	if !e.rcSet[i] {
 		e.rangeChecks[i] = RangeCheck{
 			InsnIdx: i, Reg: reg,
 			SMin: scalar.SMin, SMax: scalar.SMax, UMax: scalar.UMax,
 		}
+		e.rcSet[i] = true
 		return
 	}
+	rc := &e.rangeChecks[i]
 	if scalar.SMin < rc.SMin {
 		rc.SMin = scalar.SMin
 	}
@@ -45,7 +47,6 @@ func (e *env) recordRangeCheck(i int, reg uint8, scalar *RegState) {
 	if scalar.UMax > rc.UMax {
 		rc.UMax = scalar.UMax
 	}
-	e.rangeChecks[i] = rc
 }
 
 // checkALU validates and simulates one ALU/ALU64 instruction.
@@ -130,10 +131,10 @@ func (e *env) checkALU(st *State, i int, ins isa.Instruction) error {
 		// fires).
 		if isa.Src(ins.Opcode) == isa.SrcX {
 			e.aluScalarPath[i] = true
-			if rc, ok := e.rangeChecks[i]; ok {
+			if e.rcSet[i] {
+				rc := &e.rangeChecks[i]
 				rc.SMin, rc.SMax = math.MinInt64, math.MaxInt64
 				rc.UMax = math.MaxUint64
-				e.rangeChecks[i] = rc
 			}
 		}
 		*dst = scalarALU(op, dst, &src, is64)

@@ -1,5 +1,7 @@
 package verifier
 
+import "repro/internal/isa"
+
 // Structural state fingerprints gate the pruning deep compare, mirroring
 // the kernel's hashed explored_states lists. pruneOrRecord only runs
 // stateSubsumes against recorded snapshots whose fingerprint matches the
@@ -26,6 +28,160 @@ func fpMix(h, v uint64) uint64 {
 	h ^= v
 	h *= fpPrime64
 	return h
+}
+
+// Whole-program fingerprints key the verdict cache. The canonical byte
+// form folds every field that can influence verification or the returned
+// Result: the program attributes (type, name, attach target, license)
+// and, per instruction, opcode/dst/src/off/imm/imm64 plus the Meta
+// provenance flags. Two programs with equal canonical bytes are
+// verified identically by construction; the 64-bit FNV-1a fingerprint
+// over those bytes is only the cache index — lookups compare the stored
+// canonical bytes exactly, so a fingerprint collision degrades to a
+// cache miss, never to a wrong verdict.
+
+// CanonicalProgramBytes serializes p's verification-relevant identity.
+func CanonicalProgramBytes(p *isa.Program) []byte {
+	// attrs: type, gpl, name, attach target (length-prefixed strings so
+	// "ab"+"c" and "a"+"bc" cannot collide).
+	out := make([]byte, 0, 24+len(p.Name)+len(p.AttachTo)+18*len(p.Insns))
+	out = append(out, byte(p.Type))
+	if p.GPLCompatible {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendString(out, p.Name)
+	out = appendString(out, p.AttachTo)
+	return appendInsnBytes(out, p.Insns)
+}
+
+// canonicalPrefixBytes serializes the verification-relevant identity of
+// the linear prefix insns[0:n]: program attributes that shape the entry
+// state and helper availability (type, attach target, license — the name
+// never influences verification) plus the prefix instructions.
+func canonicalPrefixBytes(p *isa.Program, n int) []byte {
+	out := make([]byte, 0, 12+len(p.AttachTo)+17*n)
+	out = append(out, byte(p.Type))
+	if p.GPLCompatible {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendString(out, p.AttachTo)
+	return appendInsnBytes(out, p.Insns[:n])
+}
+
+func appendString(out []byte, s string) []byte {
+	out = appendU32(out, uint32(len(s)))
+	return append(out, s...)
+}
+
+func appendU32(out []byte, v uint32) []byte {
+	return append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(out []byte, v uint64) []byte {
+	out = appendU32(out, uint32(v))
+	return appendU32(out, uint32(v>>32))
+}
+
+func appendInsnBytes(out []byte, insns []isa.Instruction) []byte {
+	out = appendU32(out, uint32(len(insns)))
+	for i := range insns {
+		ins := &insns[i]
+		out = append(out, ins.Opcode, ins.Dst, ins.Src)
+		out = append(out, byte(ins.Off), byte(uint16(ins.Off)>>8))
+		out = appendU32(out, uint32(ins.Imm))
+		out = appendU64(out, ins.Imm64)
+		var meta byte
+		if ins.Meta.RewriteEmitted {
+			meta |= 1
+		}
+		if ins.Meta.Sanitized {
+			meta |= 2
+		}
+		if ins.Meta.ProbeMem {
+			meta |= 4
+		}
+		out = append(out, meta)
+	}
+	return out
+}
+
+// prefixFingerprint computes fpBytes(canonicalPrefixBytes(p, n)) without
+// materializing the canonical bytes — the first sighting of a prefix
+// hashes it allocation-free, and only recurring prefixes (which the cache
+// will actually store or look up) build the byte form. The two functions
+// must fold the identical byte sequence; TestPrefixFingerprintStreaming
+// pins that.
+func prefixFingerprint(p *isa.Program, n int) uint64 {
+	h := uint64(fpOffset64)
+	h = fpByte(h, byte(p.Type))
+	if p.GPLCompatible {
+		h = fpByte(h, 1)
+	} else {
+		h = fpByte(h, 0)
+	}
+	h = fpU32(h, uint32(len(p.AttachTo)))
+	for i := 0; i < len(p.AttachTo); i++ {
+		h = fpByte(h, p.AttachTo[i])
+	}
+	h = fpU32(h, uint32(n))
+	for i := 0; i < n; i++ {
+		ins := &p.Insns[i]
+		h = fpByte(h, ins.Opcode)
+		h = fpByte(h, ins.Dst)
+		h = fpByte(h, ins.Src)
+		h = fpByte(h, byte(ins.Off))
+		h = fpByte(h, byte(uint16(ins.Off)>>8))
+		h = fpU32(h, uint32(ins.Imm))
+		h = fpU32(h, uint32(ins.Imm64))
+		h = fpU32(h, uint32(ins.Imm64>>32))
+		var meta byte
+		if ins.Meta.RewriteEmitted {
+			meta |= 1
+		}
+		if ins.Meta.Sanitized {
+			meta |= 2
+		}
+		if ins.Meta.ProbeMem {
+			meta |= 4
+		}
+		h = fpByte(h, meta)
+	}
+	return h
+}
+
+// fpByte folds one byte into an FNV-1a running hash.
+func fpByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fpPrime64
+	return h
+}
+
+// fpU32 folds a little-endian u32 into an FNV-1a running hash, matching
+// appendU32's byte order.
+func fpU32(h uint64, v uint32) uint64 {
+	h = fpByte(h, byte(v))
+	h = fpByte(h, byte(v>>8))
+	h = fpByte(h, byte(v>>16))
+	return fpByte(h, byte(v>>24))
+}
+
+// fpBytes is FNV-1a over an arbitrary byte string.
+func fpBytes(b []byte) uint64 {
+	h := uint64(fpOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fpPrime64
+	}
+	return h
+}
+
+// ProgramFingerprint returns the 64-bit verdict-cache key for p.
+func ProgramFingerprint(p *isa.Program) uint64 {
+	return fpBytes(CanonicalProgramBytes(p))
 }
 
 // stateFingerprint folds the rigid structure of s into 64 bits.

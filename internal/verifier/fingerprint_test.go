@@ -1,0 +1,170 @@
+package verifier
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// fpTestProgram builds a deterministic program from a seed, with enough
+// field variety that every canonical-byte lane carries data.
+func fpTestProgram(seed uint64, n int) *isa.Program {
+	if n < 1 {
+		n = 1
+	}
+	p := &isa.Program{
+		Type:          isa.ProgramType(seed % 4),
+		Name:          "fp-test",
+		AttachTo:      "sys_enter",
+		GPLCompatible: seed%2 == 0,
+	}
+	x := seed | 1
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x
+	}
+	for i := 0; i < n; i++ {
+		p.Insns = append(p.Insns, isa.Instruction{
+			Opcode: uint8(next()),
+			Dst:    uint8(next() % 11),
+			Src:    uint8(next() % 11),
+			Off:    int16(next()),
+			Imm:    int32(next()),
+			Imm64:  next(),
+		})
+	}
+	return p
+}
+
+func cloneProgram(p *isa.Program) *isa.Program {
+	q := *p
+	q.Insns = append([]isa.Instruction(nil), p.Insns...)
+	return &q
+}
+
+// TestProgramFingerprintFieldSensitivity mutates every verification-
+// relevant field one at a time and requires the fingerprint to move: a
+// field the canonical form ignores would alias distinct programs onto one
+// cache entry. (Correctness does not depend on this — lookups compare the
+// canonical bytes — but a byte-compare mismatch only yields a miss, and a
+// field missing from the canonical form would yield a wrong *hit*.)
+func TestProgramFingerprintFieldSensitivity(t *testing.T) {
+	base := fpTestProgram(7, 6)
+	mutations := map[string]func(*isa.Program){
+		"type":           func(p *isa.Program) { p.Type++ },
+		"gpl":            func(p *isa.Program) { p.GPLCompatible = !p.GPLCompatible },
+		"name":           func(p *isa.Program) { p.Name = "fp-test2" },
+		"attach":         func(p *isa.Program) { p.AttachTo = "sys_exit" },
+		"opcode":         func(p *isa.Program) { p.Insns[2].Opcode ^= 0x01 },
+		"dst":            func(p *isa.Program) { p.Insns[2].Dst ^= 1 },
+		"src":            func(p *isa.Program) { p.Insns[2].Src ^= 1 },
+		"off-low-byte":   func(p *isa.Program) { p.Insns[2].Off ^= 0x0001 },
+		"off-high-byte":  func(p *isa.Program) { p.Insns[2].Off ^= 0x0100 },
+		"imm-low-byte":   func(p *isa.Program) { p.Insns[2].Imm ^= 0x00000001 },
+		"imm-high-byte":  func(p *isa.Program) { p.Insns[2].Imm ^= 0x01000000 },
+		"imm64":          func(p *isa.Program) { p.Insns[2].Imm64 ^= 1 << 40 },
+		"meta-rewrite":   func(p *isa.Program) { p.Insns[2].Meta.RewriteEmitted = true },
+		"meta-sanitized": func(p *isa.Program) { p.Insns[2].Meta.Sanitized = true },
+		"meta-probemem":  func(p *isa.Program) { p.Insns[2].Meta.ProbeMem = true },
+		"append-insn":    func(p *isa.Program) { p.Insns = append(p.Insns, isa.Instruction{Opcode: 0x95}) },
+		"drop-last-insn": func(p *isa.Program) { p.Insns = p.Insns[:len(p.Insns)-1] },
+	}
+	baseFP := ProgramFingerprint(base)
+	baseCanon := CanonicalProgramBytes(base)
+	for name, mutate := range mutations {
+		q := cloneProgram(base)
+		mutate(q)
+		if bytes.Equal(CanonicalProgramBytes(q), baseCanon) {
+			t.Errorf("%s: canonical bytes unchanged by mutation", name)
+		}
+		if ProgramFingerprint(q) == baseFP {
+			t.Errorf("%s: fingerprint unchanged by mutation", name)
+		}
+	}
+}
+
+// TestProgramFingerprintDeterministic pins that the fingerprint is a pure
+// function of the program value, and identical for clones.
+func TestProgramFingerprintDeterministic(t *testing.T) {
+	p := fpTestProgram(42, 8)
+	if a, b := ProgramFingerprint(p), ProgramFingerprint(p); a != b {
+		t.Fatalf("fingerprint unstable: %#x vs %#x", a, b)
+	}
+	if a, b := ProgramFingerprint(p), ProgramFingerprint(cloneProgram(p)); a != b {
+		t.Fatalf("clone fingerprint differs: %#x vs %#x", a, b)
+	}
+}
+
+// TestCanonicalProgramBytesStringBoundaries pins the length-prefix framing:
+// moving a character across the Name/AttachTo boundary must not collide.
+func TestCanonicalProgramBytesStringBoundaries(t *testing.T) {
+	a := &isa.Program{Name: "ab", AttachTo: "c", Insns: []isa.Instruction{{Opcode: 0x95}}}
+	b := &isa.Program{Name: "a", AttachTo: "bc", Insns: []isa.Instruction{{Opcode: 0x95}}}
+	if bytes.Equal(CanonicalProgramBytes(a), CanonicalProgramBytes(b)) {
+		t.Fatal("length prefixes failed: ab+c collides with a+bc")
+	}
+}
+
+// TestPrefixFingerprintStreaming pins that the allocation-free streaming
+// prefix hash folds exactly the bytes canonicalPrefixBytes materializes —
+// the two must never drift, or the recurrence filter and the snapshot
+// store would disagree about prefix identity.
+func TestPrefixFingerprintStreaming(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 99, 12345} {
+		p := fpTestProgram(seed, 1+int(seed%14))
+		for n := 1; n <= len(p.Insns); n++ {
+			want := fpBytes(canonicalPrefixBytes(p, n))
+			if got := prefixFingerprint(p, n); got != want {
+				t.Fatalf("seed %d prefix %d: streaming fp %#x != canonical fp %#x", seed, n, got, want)
+			}
+		}
+	}
+}
+
+// FuzzProgramFingerprintSingleByte asserts the no-collision property the
+// verdict cache's index quality rests on: two programs differing in
+// exactly one imm or off byte never share a fingerprint. This is exact,
+// not probabilistic — FNV-1a's xor and odd-prime multiply are both
+// bijections on u64, so a single differing byte at one position in
+// equal-length inputs propagates to the final hash.
+func FuzzProgramFingerprintSingleByte(f *testing.F) {
+	f.Add(uint64(7), uint(2), uint(0), byte(0xff))
+	f.Add(uint64(1), uint(0), uint(5), byte(0x00))
+	f.Add(uint64(99), uint(11), uint(3), byte(0x5a))
+	f.Fuzz(func(t *testing.T, seed uint64, insnSel, byteSel uint, nb byte) {
+		p := fpTestProgram(seed, 1+int(seed%12))
+		q := cloneProgram(p)
+		ins := &q.Insns[int(insnSel)%len(q.Insns)]
+		// byteSel picks one of the six single-byte lanes: imm[0..3], off[0..1].
+		switch lane := byteSel % 6; lane {
+		case 0, 1, 2, 3:
+			shift := 8 * lane
+			old := uint32(ins.Imm)
+			mut := old&^(0xff<<shift) | uint32(nb)<<shift
+			if mut == old {
+				t.Skip("mutation is the identity")
+			}
+			ins.Imm = int32(mut)
+		case 4, 5:
+			shift := 8 * (lane - 4)
+			old := uint16(ins.Off)
+			mut := old&^(0xff<<shift) | uint16(nb)<<shift
+			if mut == old {
+				t.Skip("mutation is the identity")
+			}
+			ins.Off = int16(mut)
+		}
+		pc, qc := CanonicalProgramBytes(p), CanonicalProgramBytes(q)
+		if bytes.Equal(pc, qc) {
+			t.Fatal("single-byte field mutation did not change canonical bytes")
+		}
+		if len(pc) != len(qc) {
+			t.Fatalf("imm/off mutation changed canonical length: %d vs %d", len(pc), len(qc))
+		}
+		if ProgramFingerprint(p) == ProgramFingerprint(q) {
+			t.Errorf("fingerprint collision on single-byte difference: seed=%d insn=%d byte=%d nb=%#x",
+				seed, int(insnSel)%len(p.Insns), byteSel%6, nb)
+		}
+	})
+}

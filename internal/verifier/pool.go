@@ -1,6 +1,13 @@
 package verifier
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/isa"
+	"repro/internal/tnum"
+)
 
 // Per-env free lists for State and FuncState. Path exploration clones a
 // state on every two-way branch and every prune snapshot, and discards one
@@ -14,10 +21,10 @@ import "sync"
 // unconditionally. Snapshot clones recorded in e.visited are never
 // released; they stay live until the env is dropped.
 
-// Global backing pools: a verification's states are recycled at env
-// teardown (including the prune snapshots, which stay live for the whole
-// exploration), so the next Verify call — possibly on another goroutine —
-// starts with warm shells instead of allocating its working set again.
+// Global backing pools seed a fresh env's free lists; once an env has
+// been through a verification its states stay attached to it (envs are
+// themselves pooled), so the common case never touches the synchronized
+// pools at all.
 var (
 	globalStatePool = sync.Pool{New: func() interface{} { return &State{} }}
 	globalFramePool = sync.Pool{New: func() interface{} { return &FuncState{} }}
@@ -58,6 +65,29 @@ func (e *env) cloneState(s *State) *State {
 	return n
 }
 
+// newInitialStatePooled is newInitialState through the env pools: the
+// shell and frame shells are reused, and the zero value of a cleared
+// FuncState is exactly the all-NotInit register file the fresh allocation
+// produced.
+func (e *env) newInitialStatePooled() *State {
+	var n *State
+	if ln := len(e.statePool); ln > 0 {
+		n = e.statePool[ln-1]
+		e.statePool = e.statePool[:ln-1]
+	} else {
+		n = globalStatePool.Get().(*State)
+	}
+	f := e.newFrame()
+	*f = FuncState{FrameNo: 0, CallSite: -1}
+	f.Regs[isa.R1] = RegState{Type: PtrToCtx, VarOff: tnum.Const(0)}
+	f.Regs[isa.R10] = RegState{Type: PtrToStack, VarOff: tnum.Const(0)}
+	n.Frames = append(n.Frames[:0], f)
+	n.Refs = n.Refs[:0]
+	n.Ancestry = n.Ancestry[:0]
+	n.Insn = 0
+	return n
+}
+
 // releaseState recycles st and its frames. st must not be referenced
 // afterwards.
 func (e *env) releaseState(st *State) {
@@ -91,21 +121,122 @@ func (e *env) adoptState(st, donor *State) {
 	e.statePool = append(e.statePool, donor)
 }
 
-// teardown recycles the env's entire state working set — the local free
-// lists plus every recorded prune snapshot — into the global pools. Called
-// (deferred) when Verify returns; nothing published in Result references a
-// State or FuncState.
+// envPool recycles whole verification contexts: the env shell, its
+// slice-indexed scratch tables (sized against the largest program the env
+// has seen), the pooled coverage recorder, and the state/frame free lists
+// all survive from one Verify call to the next.
+var envPool = sync.Pool{New: func() interface{} { return &env{} }}
+
+// getEnv prepares a pooled env for one verification of prog: every scratch
+// table is resized to the program (reusing capacity) and cleared, the slot
+// maps are computed in one incremental pass (the old per-insn SlotOf calls
+// were quadratic in program length), and all cross-run accumulators reset.
+func getEnv(prog *isa.Program, cfg *Config) *env {
+	e := envPool.Get().(*env)
+	e.cfg, e.prog = cfg, prog
+	e.deadline = time.Time{}
+	e.insnProcessed, e.totalStates, e.peakStates = 0, 0, 0
+	e.idCounter, e.refCounter, e.snapCounter = 0, 0, 0
+	e.r0Bounds = ReturnBounds{}
+	e.states = nil
+	e.usedMaps = nil // escapes into Result.UsedMaps; never reused
+	e.log.Reset()
+
+	n := len(prog.Insns)
+	e.slotOf = growInt32(e.slotOf, n)
+	slot := int32(0)
+	for i := range prog.Insns {
+		e.slotOf[i] = slot
+		slot += int32(widthOf(prog.Insns[i]))
+	}
+	e.idxOf = growInt32(e.idxOf, int(slot))
+	clearInt32(e.idxOf)
+	for i := range prog.Insns {
+		e.idxOf[e.slotOf[i]] = int32(i) + 1
+	}
+	e.insnRegType = growInt32(e.insnRegType, n)
+	clearInt32(e.insnRegType)
+	e.rangeChecks = growRangeChecks(e.rangeChecks, n)
+	e.rcSet = growBools(e.rcSet, n)
+	e.aluScalarPath = growBools(e.aluScalarPath, n)
+	e.probeMem = growBools(e.probeMem, n)
+	e.visited = growVisited(e.visited, n)
+
+	if cfg.Cov != nil {
+		if e.localCov == nil {
+			e.localCov = coverage.NewLocal()
+		}
+		e.lcov = e.localCov
+	} else {
+		e.lcov = nil
+	}
+	return e
+}
+
+// growInt32 returns s resized to n, reusing capacity. Contents are
+// unspecified; callers that need zeroes call clearInt32.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func clearInt32(s []int32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// growBools returns s resized to n and cleared.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// growRangeChecks resizes without clearing — entries are guarded by rcSet.
+func growRangeChecks(s []RangeCheck, n int) []RangeCheck {
+	if cap(s) < n {
+		return make([]RangeCheck, n)
+	}
+	return s[:n]
+}
+
+// growVisited resizes the per-insn snapshot lists, preserving the inner
+// slices' backing arrays (teardown leaves every inner slice truncated to
+// zero length, so reuse never sees stale snapshots).
+func growVisited(s [][]snapshot, n int) [][]snapshot {
+	if cap(s) < n {
+		ns := make([][]snapshot, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}
+
+// teardown recycles the env's entire working set — the recorded prune
+// snapshots, the state/frame free lists, the scratch tables, and the env
+// shell itself — for the next Verify call, possibly on another goroutine.
+// Called (deferred) when Verify returns, after the coverage flush; nothing
+// published in Result references a State, FuncState, or scratch table.
 func (e *env) teardown() {
-	for _, snaps := range e.visited {
+	for idx, snaps := range e.visited {
 		for _, sn := range snaps {
 			e.releaseState(sn.state)
 		}
+		e.visited[idx] = snaps[:0]
 	}
-	for _, st := range e.statePool {
-		globalStatePool.Put(st)
+	for i, st := range e.worklist {
+		e.releaseState(st)
+		e.worklist[i] = nil
 	}
-	for _, f := range e.framePool {
-		globalFramePool.Put(f)
-	}
-	e.statePool, e.framePool = nil, nil
+	e.worklist = e.worklist[:0]
+	e.cfg, e.prog, e.states, e.usedMaps, e.lcov = nil, nil, nil, nil, nil
+	envPool.Put(e)
 }

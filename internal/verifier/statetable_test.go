@@ -14,14 +14,14 @@ import (
 // silently drops claim coverage.
 func TestImpreciseALU(t *testing.T) {
 	imprecise := []isa.Instruction{
-		isa.Alu64Reg(isa.ALUDiv, isa.R3, isa.R4),   // div-by-zero -> 0; div-by-one passes dst through
-		isa.Alu64Reg(isa.ALUMod, isa.R3, isa.R4),   // mod-by-zero leaves dst unchanged
-		isa.Alu64Reg(isa.ALURsh, isa.R3, isa.R4),   // shift-by-zero leaves dst unchanged
-		isa.Alu32Reg(isa.ALUDiv, isa.R3, isa.R4),   // 32-bit corners match the 64-bit ones
+		isa.Alu64Reg(isa.ALUDiv, isa.R3, isa.R4), // div-by-zero -> 0; div-by-one passes dst through
+		isa.Alu64Reg(isa.ALUMod, isa.R3, isa.R4), // mod-by-zero leaves dst unchanged
+		isa.Alu64Reg(isa.ALURsh, isa.R3, isa.R4), // shift-by-zero leaves dst unchanged
+		isa.Alu32Reg(isa.ALUDiv, isa.R3, isa.R4), // 32-bit corners match the 64-bit ones
 		isa.Alu32Reg(isa.ALUMod, isa.R3, isa.R4),
 		isa.Alu32Reg(isa.ALURsh, isa.R3, isa.R4),
-		isa.Alu64Imm(isa.ALUDiv, isa.R3, 1),        // dst/1 == dst can exceed the claimed signed range
-		isa.Alu64Imm(isa.ALURsh, isa.R3, 0),        // explicit shift by zero
+		isa.Alu64Imm(isa.ALUDiv, isa.R3, 1),                                           // dst/1 == dst can exceed the claimed signed range
+		isa.Alu64Imm(isa.ALURsh, isa.R3, 0),                                           // explicit shift by zero
 		{Opcode: isa.ClassALU64 | isa.SrcK | isa.ALUDiv, Dst: isa.R3, Imm: 7, Off: 1}, // sdiv modeled unsigned
 		{Opcode: isa.ClassALU64 | isa.SrcK | isa.ALUMod, Dst: isa.R3, Imm: 7, Off: 1}, // smod modeled unsigned
 	}

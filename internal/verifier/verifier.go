@@ -3,7 +3,6 @@ package verifier
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -94,6 +93,11 @@ type Config struct {
 	// register at every simulated instruction, which the pooled zero-alloc
 	// hot path must not pay for.
 	RecordStates bool
+	// Cache, when non-nil, memoizes whole-program verdicts and linear-
+	// prefix boundary snapshots across Verify calls (see cache.go). It is
+	// consulted only when the run is cacheable: LogLevel 0, RecordStates
+	// off (the oracle must never see replayed claims), coverage on.
+	Cache Cache
 }
 
 // TimeoutError reports that a verification exceeded its wall-clock
@@ -193,12 +197,18 @@ func (b *ReturnBounds) widen(r *RegState) {
 	}
 }
 
-// env is the per-verification mutable context.
+// env is the per-verification mutable context. Envs are pooled (pool.go):
+// the slice-indexed scratch tables below replace what used to be seven
+// per-verification map allocations, and getEnv resizes/clears them against
+// the incoming program so the steady state of a campaign allocates nothing
+// on the verification setup path.
 type env struct {
 	cfg    *Config
 	prog   *isa.Program
-	slotOf []int // decoded index -> encoded slot
-	idxOf  map[int]int
+	slotOf []int32 // decoded index -> encoded slot
+	// idxOf maps an encoded slot to its decoded index + 1; 0 marks the
+	// second half of an LD_IMM64 (not a valid jump target).
+	idxOf []int32
 
 	// deadline is the wall-clock watchdog cutoff (zero = unbounded).
 	deadline time.Time
@@ -210,30 +220,42 @@ type env struct {
 	refCounter    uint32
 
 	// visited states per insn index, for pruning.
-	visited map[int][]snapshot
+	visited [][]snapshot
+	// worklist is the path-exploration stack. Env-owned so the states
+	// still queued when a rejection aborts exploration go back to the
+	// pools (teardown drains it) instead of being abandoned.
+	worklist []*State
 	// snapCounter issues snapshot ids for cycle detection.
 	snapCounter uint64
 	// insnRegType records the pointer type used at each memory insn to
 	// detect paths disagreeing about an access (kernel rejects those)
-	// and to drive the probe-mem conversion.
-	insnRegType map[int]RegType
+	// and to drive the probe-mem conversion. Encoded as RegType + 1;
+	// 0 means "no access recorded yet".
+	insnRegType []int32
 
-	rangeChecks map[int]RangeCheck
+	// rangeChecks accumulates per-insn alu_limit beliefs; rcSet marks
+	// which entries are live.
+	rangeChecks []RangeCheck
+	rcSet       []bool
 	r0Bounds    ReturnBounds
 	// states is the oracle claim table (Config.RecordStates only).
 	states *StateTable
 	// aluScalarPath marks ALU insns some path executed with two scalar
 	// operands, which disables that insn's alu_limit assertion.
-	aluScalarPath map[int]bool
-	probeMem      map[int]bool
-	usedMaps      []*maps.Map
-	usedMapSet    map[*maps.Map]bool
+	aluScalarPath []bool
+	probeMem      []bool
+	// usedMaps is published in Result.UsedMaps and therefore never pooled.
+	// Membership is a linear scan (programs reference a handful of maps).
+	usedMaps []*maps.Map
 
 	// lcov is the per-verification coverage recorder (nil when coverage is
 	// off). It is unsynchronized; Verify flushes it into cfg.Cov exactly
 	// once, on every return path, so the shared map's lock is taken once
-	// per verification instead of once per instrumented site.
-	lcov *coverage.Local
+	// per verification instead of once per instrumented site. localCov is
+	// the pooled backing recorder: FlushTo clears it, so it is reusable
+	// across verifications.
+	lcov     *coverage.Local
+	localCov *coverage.Local
 
 	// statePool / framePool recycle exploration states; see pool.go.
 	statePool []*State
@@ -336,12 +358,11 @@ func stateLine(st *State) string {
 // jumpTarget converts a decoded insn index plus a slot-relative offset to
 // the target decoded index, or -1 if invalid.
 func (e *env) jumpTarget(i int, off int32) int {
-	tgt := e.slotOf[i] + widthOf(e.prog.Insns[i]) + int(off)
-	idx, ok := e.idxOf[tgt]
-	if !ok {
+	tgt := int(e.slotOf[i]) + widthOf(e.prog.Insns[i]) + int(off)
+	if tgt < 0 || tgt >= len(e.idxOf) {
 		return -1
 	}
-	return idx
+	return int(e.idxOf[tgt]) - 1
 }
 
 func widthOf(ins isa.Instruction) int {
@@ -353,39 +374,55 @@ func widthOf(ins isa.Instruction) int {
 
 // Verify checks prog under cfg. On success it returns the fixed-up
 // program plus sanitizer metadata; on rejection it returns a *Error.
+//
+// With a cacheable Config.Cache, Verify first consults the verdict cache;
+// a hit replays the memoized outcome (verdict, counters, exact coverage
+// profile) without exploring, and a miss verifies from scratch and
+// memoizes. Timeouts are never memoized.
 func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
+	if !cacheable(cfg) {
+		return verify(prog, cfg, nil)
+	}
+	canon := CanonicalProgramBytes(prog)
+	fp := fpBytes(canon)
+	if v := cfg.Cache.Lookup(fp, canon); v != nil {
+		if res, err, ok := v.materialize(prog, cfg); ok {
+			return res, err
+		}
+	}
+	var capture []coverage.SiteCount
+	res, err := verify(prog, cfg, &capture)
+	if v := newCachedVerdict(canon, res, err, capture); v != nil {
+		cfg.Cache.Insert(fp, v)
+	}
+	return res, err
+}
+
+// verify is the scratch verification path. capture, when non-nil, marks a
+// cache-miss run: the final coverage profile is exported into it for the
+// verdict-cache entry, and the linear-prefix snapshot path is active.
+func verify(prog *isa.Program, cfg *Config, capture *[]coverage.SiteCount) (*Result, error) {
 	if cfg.MaxInsnProcessed == 0 {
 		cfg.MaxInsnProcessed = 100000
 	}
 	if cfg.MaxStatesPerInsn == 0 {
 		cfg.MaxStatesPerInsn = 16
 	}
-	e := &env{
-		cfg:           cfg,
-		prog:          prog,
-		visited:       make(map[int][]snapshot),
-		insnRegType:   make(map[int]RegType),
-		rangeChecks:   make(map[int]RangeCheck),
-		aluScalarPath: make(map[int]bool),
-		probeMem:      make(map[int]bool),
-		usedMapSet:    make(map[*maps.Map]bool),
-		idxOf:         make(map[int]int),
-	}
+	e := getEnv(prog, cfg)
 	defer e.teardown()
 	if cfg.Cov != nil {
-		e.lcov = coverage.NewLocal()
 		// One flush — one lock acquisition on the shared map — per
 		// verification, on every return path including rejections and
-		// watchdog timeouts.
+		// watchdog timeouts. (teardown is registered first and so runs
+		// after the flush has emptied the pooled recorder.)
 		defer e.lcov.FlushTo(cfg.Cov)
+		if capture != nil {
+			// LIFO: the export runs before the flush clears the recorder.
+			defer e.exportCov(capture)
+		}
 	}
 	if cfg.Timeout > 0 {
 		e.deadline = time.Now().Add(cfg.Timeout)
-	}
-	for i := range prog.Insns {
-		s := prog.SlotOf(i)
-		e.slotOf = append(e.slotOf, s)
-		e.idxOf[s] = i
 	}
 
 	// Structural checks first (the kernel's resolve_pseudo_ldimm64 /
@@ -401,26 +438,42 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		e.states = NewStateTable(prog)
 	}
 
-	worklist := []*State{newInitialState()}
-	for len(worklist) > 0 {
+	st := e.newInitialStatePooled()
+	if capture != nil {
+		// Incremental path (cache-miss runs only): resume from the shared
+		// linear-prefix snapshot, or simulate the prefix once and publish
+		// it. A prefix rejection is the whole program's rejection.
+		var err error
+		if st, err = e.prefixPrepass(st); err != nil {
+			return nil, err
+		}
+	}
+	// The worklist lives on the env so rejection returns recycle every
+	// still-queued state (teardown drains it); over half of fuzzed
+	// programs are rejected, and abandoning their worklists starved the
+	// state pools.
+	e.worklist = append(e.worklist[:0], st)
+	for len(e.worklist) > 0 {
 		if err := e.watchdog(); err != nil {
 			return nil, err
 		}
-		if len(worklist) > e.peakStates {
-			e.peakStates = len(worklist)
+		if len(e.worklist) > e.peakStates {
+			e.peakStates = len(e.worklist)
 		}
-		st := worklist[len(worklist)-1]
-		worklist = worklist[:len(worklist)-1]
+		st := e.worklist[len(e.worklist)-1]
+		e.worklist = e.worklist[:len(e.worklist)-1]
 		e.totalStates++
 		s1, s2, err := e.runPath(st)
 		if err != nil {
+			// runPath's error paths never release st themselves.
+			e.releaseState(st)
 			return nil, err
 		}
 		if s1 != nil {
-			worklist = append(worklist, s1)
+			e.worklist = append(e.worklist, s1)
 		}
 		if s2 != nil {
-			worklist = append(worklist, s2)
+			e.worklist = append(e.worklist, s2)
 		}
 	}
 
@@ -433,22 +486,36 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 		InsnProcessed: e.insnProcessed,
 		PeakStates:    e.peakStates,
 		TotalStates:   e.totalStates,
-		ProbeMem:      e.probeMem,
+		ProbeMem:      e.probeMemMap(),
 		UsedMaps:      e.usedMaps,
 		R0Bounds:      e.r0Bounds,
 		States:        e.states,
 		Log:           e.log.String(),
 	}
-	for idx, rc := range e.rangeChecks {
-		_ = idx
-		res.RangeChecks = append(res.RangeChecks, rc)
+	// rcSet is walked in instruction order, so RangeChecks comes out
+	// sorted by InsnIdx — the deterministic order the sanitizer needs —
+	// without a sort pass.
+	for i, set := range e.rcSet {
+		if set {
+			res.RangeChecks = append(res.RangeChecks, e.rangeChecks[i])
+		}
 	}
-	// Deterministic order for the sanitizer. InsnIdx is the map key, so
-	// keys are unique and stability is irrelevant.
-	sort.Slice(res.RangeChecks, func(i, j int) bool {
-		return res.RangeChecks[i].InsnIdx < res.RangeChecks[j].InsnIdx
-	})
 	return res, nil
+}
+
+// probeMemMap publishes the probe-mem conversion set as the map Result
+// carries, nil when no instruction was converted.
+func (e *env) probeMemMap() map[int]bool {
+	var pm map[int]bool
+	for i, b := range e.probeMem {
+		if b {
+			if pm == nil {
+				pm = make(map[int]bool)
+			}
+			pm[i] = true
+		}
+	}
+	return pm
 }
 
 // runPath simulates instructions from st until the path ends (exit from
@@ -577,12 +644,13 @@ func (e *env) pruneOrRecord(idx int, st *State) (bool, error) {
 }
 
 // recordInsnType notes the pointer type an access instruction was checked
-// with; paths must agree, as in the kernel.
+// with; paths must agree, as in the kernel. The table stores RegType + 1
+// so the zero value means "not yet accessed".
 func (e *env) recordInsnType(i int, t RegType) error {
-	if prev, ok := e.insnRegType[i]; ok && prev != t {
-		return e.reject(i, EINVAL, "same insn cannot be used with different pointers (%s vs %s)", prev, t)
+	if prev := e.insnRegType[i]; prev != 0 && RegType(prev-1) != t {
+		return e.reject(i, EINVAL, "same insn cannot be used with different pointers (%s vs %s)", RegType(prev-1), t)
 	}
-	e.insnRegType[i] = t
+	e.insnRegType[i] = int32(t) + 1
 	return nil
 }
 
@@ -677,10 +745,12 @@ func (e *env) mapByFD(fd int32) *maps.Map {
 }
 
 func (e *env) noteMap(m *maps.Map) {
-	if !e.usedMapSet[m] {
-		e.usedMapSet[m] = true
-		e.usedMaps = append(e.usedMaps, m)
+	for _, x := range e.usedMaps {
+		if x == m {
+			return
+		}
 	}
+	e.usedMaps = append(e.usedMaps, m)
 }
 
 // errIsVerifier reports whether err is a verifier rejection (vs an

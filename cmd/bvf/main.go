@@ -10,6 +10,13 @@
 //	    [-supervise] [-max-restarts N] [-watchdog D]
 //	    [-triage] [-findings-dir DIR] [-oracle] [-cache]
 //	    [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	bvf -worker [-coordinator URL] [-worker-name NAME]
+//
+// In -worker mode the process joins a distributed campaign instead of
+// running its own: it registers with a bvfd coordinator, leases work
+// units (seed + iteration quota), heartbeats while executing them, and
+// submits each unit's statistics. The campaign definition comes from the
+// coordinator; the local campaign flags are ignored.
 //
 // The campaign is sharded across -workers parallel fuzzing instances
 // (default: all CPUs), each with its own simulated kernel, RNG and
@@ -50,6 +57,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/orchestrator"
 	"repro/internal/prof"
 	"repro/internal/triage"
 	"repro/internal/vcache"
@@ -80,9 +88,19 @@ func run() int {
 		findingsDir = flag.String("findings-dir", "", "directory for the crash-safe finding store (empty: in-memory)")
 		oracleFlag  = flag.Bool("oracle", false, "differentially check abstract verifier state against concrete execution (indicator 3)")
 		cacheFlag   = flag.Bool("cache", false, "memoize verifier verdicts in a cross-shard cache (incremental re-verification)")
+
+		workerMode  = flag.Bool("worker", false, "run as an orchestrator worker: lease and execute units from -coordinator")
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8377", "bvfd coordinator URL for -worker mode")
+		workerName  = flag.String("worker-name", "", "worker identity offered to the coordinator (empty: assigned)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *workerMode {
+		// Worker mode ignores the campaign flags: the campaign spec comes
+		// from the coordinator, which is what keeps a fleet consistent.
+		return runWorker(*coordinator, *workerName)
+	}
 
 	stopProf, perr := profFlags.Start()
 	defer stopProf()
@@ -287,12 +305,48 @@ func run() int {
 	return 0
 }
 
+// runWorker executes leased work units from a bvfd coordinator until the
+// campaign completes. SIGINT/SIGTERM abandon the in-flight unit (its
+// lease expires and the quota is refunded to the campaign).
+func runWorker(coordinator, name string) int {
+	w := orchestrator.NewWorker(orchestrator.WorkerConfig{
+		Name:   name,
+		Client: orchestrator.NewClient(coordinator, name),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bvf worker: "+format+"\n", args...)
+		},
+	})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "bvf worker: stopping at the next round edge")
+		w.Stop()
+		signal.Stop(sigs)
+	}()
+	if err := w.Run(); err != nil && !errors.Is(err, orchestrator.ErrUnitAbandoned) {
+		fmt.Fprintf(os.Stderr, "bvf worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("bvf worker: done (%d units completed)\n", w.UnitsDone())
+	return 0
+}
+
 // runGauntlet validates the campaign's findings: replay, cross-config
 // classification, quarantine, minimization — then prints the verdicts.
 func runGauntlet(st *core.Stats, version kernel.Version, sanitize, oracle bool, dir string) error {
 	store, err := triage.Open(dir)
 	if err != nil {
 		return err
+	}
+	// Files the store had to skip are findings the operator thinks exist
+	// but the gauntlet will not validate — say so rather than silently
+	// reporting a smaller bug set.
+	if damaged := store.Damaged(); len(damaged) > 0 {
+		fmt.Printf("\nWARNING: %d corrupt finding file(s) skipped by the store:\n", len(damaged))
+		for _, f := range damaged {
+			fmt.Printf("  %s\n", f)
+		}
 	}
 	g := triage.New(triage.Config{}, store)
 	added, err := g.Ingest(st, triage.Env{Version: version, Sanitize: sanitize, Oracle: oracle})

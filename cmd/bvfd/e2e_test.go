@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/orchestrator"
+	"repro/internal/triage"
+)
+
+// The e2e campaign: big enough that a unit takes seconds (so SIGKILLing
+// a worker mid-lease is not a race), small enough to finish fast.
+const (
+	e2eIters = 180000
+	e2eUnits = 3
+	e2eSeed  = 42
+	e2eSync  = 1000
+)
+
+// syncBuffer is a goroutine-safe capture of a subprocess's output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// buildBinaries compiles bvfd and bvf into a temp dir.
+func buildBinaries(t *testing.T) (bvfd, bvf string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"bvfd", "bvf"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = root
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", name, err, msg)
+		}
+	}
+	return filepath.Join(dir, "bvfd"), filepath.Join(dir, "bvf")
+}
+
+// TestE2EWorkerKilledMidLease is the full-stack smoke test: a real bvfd
+// process coordinates real bvf -worker processes over TCP; one worker is
+// SIGKILLed mid-lease; the campaign must still complete its full
+// iteration quota with the same deduplicated finding set as an unfaulted
+// in-process ParallelCampaign run.
+func TestE2EWorkerKilledMidLease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e smoke test builds binaries and runs a real campaign")
+	}
+	if raceEnabled {
+		t.Skip("reference campaign is too slow under the race detector; CI runs this uninstrumented")
+	}
+	bvfdBin, bvfBin := buildBinaries(t)
+
+	// Unfaulted single-process reference (SyncEvery = per-shard quota:
+	// one round, no cross-shard exchange, shards ≡ units).
+	ver, err := orchestrator.ParseVersion("bpf-next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewParallelCampaign(core.ParallelConfig{
+		CampaignConfig: core.CampaignConfig{
+			Source: core.BVFSource(ver.HasKfuncs()), Version: ver,
+			Sanitize: true, Seed: e2eSeed, NoMinimize: true,
+			Supervision: core.SupervisorConfig{Enabled: true},
+		},
+		Workers:   e2eUnits,
+		SyncEvery: e2eIters / e2eUnits,
+	})
+	refStats, err := ref.Run(e2eIters)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+
+	findingsDir := t.TempDir()
+	var coordOut syncBuffer
+	coord := exec.Command(bvfdBin,
+		"-addr", "127.0.0.1:0",
+		"-iters", fmt.Sprint(e2eIters),
+		"-units", fmt.Sprint(e2eUnits),
+		"-seed", fmt.Sprint(e2eSeed),
+		"-sync-every", fmt.Sprint(e2eSync),
+		"-lease-ttl", "1s",
+		"-findings-dir", findingsDir,
+	)
+	coord.Stdout = &coordOut
+	coord.Stderr = &coordOut
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator prints its bound address on startup.
+	addrRE := regexp.MustCompile(`on (127\.0\.0\.1:\d+) `)
+	var baseURL string
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if m := addrRE.FindStringSubmatch(coordOut.String()); m != nil {
+			baseURL = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bvfd never reported its address:\n%s", coordOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	status := orchestrator.NewClient(baseURL, "e2e-harness")
+
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(bvfBin, "-worker", "-coordinator", baseURL, "-worker-name", name)
+		w.Stdout = os.Stderr
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("start worker %s: %v", name, err)
+		}
+		return w
+	}
+
+	// The doomed worker goes first, alone, so it is the one holding a
+	// lease when the SIGKILL lands.
+	doomed := startWorker("doomed")
+	defer doomed.Process.Kill()
+	killed := false
+	for deadline := time.Now().Add(30 * time.Second); !killed; {
+		st, err := status.Status()
+		if err == nil {
+			for _, u := range st.Units {
+				if u.State == "leased" && u.Worker == "doomed" {
+					// Mid-lease, microseconds into a multi-second unit.
+					if err := doomed.Process.Kill(); err != nil {
+						t.Fatalf("SIGKILL doomed worker: %v", err)
+					}
+					doomed.Wait()
+					killed = true
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("doomed worker never held a lease:\n%s", coordOut.String())
+		}
+		if !killed {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Two survivors finish the campaign, including the refunded unit.
+	w1, w2 := startWorker("survivor-1"), startWorker("survivor-2")
+	defer w1.Process.Kill()
+	defer w2.Process.Kill()
+
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- coord.Wait() }()
+	select {
+	case err := <-coordErr:
+		if err != nil {
+			t.Fatalf("bvfd exited with %v:\n%s", err, coordOut.String())
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatalf("campaign never completed:\n%s", coordOut.String())
+	}
+	if err := w1.Wait(); err != nil {
+		t.Errorf("survivor-1: %v", err)
+	}
+	if err := w2.Wait(); err != nil {
+		t.Errorf("survivor-2: %v", err)
+	}
+
+	out := coordOut.String()
+	// Full quota despite the mid-lease kill.
+	if m := regexp.MustCompile(`iterations:\s+(\d+)`).FindStringSubmatch(out); m == nil || m[1] != fmt.Sprint(e2eIters) {
+		t.Errorf("iterations line = %v, want %d\n%s", m, e2eIters, out)
+	}
+	// The kill cost a lease (re-run), never budget.
+	if m := regexp.MustCompile(`refunded leases:\s+(\d+)`).FindStringSubmatch(out); m == nil || m[1] == "0" {
+		t.Errorf("refunded leases line = %v, want >= 1\n%s", m, out)
+	}
+
+	// Bug-for-bug equivalence with the unfaulted reference, including
+	// discovery iterations (printed on the global axis both sides).
+	bugRE := regexp.MustCompile(`\[iter\s+(\d+)\]\s+(\S+)\s+indicator(\d+)\s+(.+)`)
+	got := map[string]bool{}
+	for _, m := range bugRE.FindAllStringSubmatch(out, -1) {
+		got[fmt.Sprintf("%s|%s|%s|%s", m[1], m[2], m[3], m[4])] = true
+	}
+	var want []string
+	for _, rec := range refStats.Bugs {
+		want = append(want, fmt.Sprintf("%d|%s|%d|%v", rec.FoundAt, rec.ID, rec.Indicator, rec.Kind))
+	}
+	sort.Strings(want)
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("reference bug %q missing from distributed campaign", w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("distributed campaign reported %d bugs, reference found %d\n%s", len(got), len(want), out)
+	}
+
+	// The shared registry holds one finding per deduplicated BugKey.
+	store, err := triage.Open(findingsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := store.Len(), len(refStats.Bugs); got != want {
+		t.Errorf("findings store has %d entries, want %d", got, want)
+	}
+	if d := store.Damaged(); len(d) != 0 {
+		t.Errorf("damaged findings: %v", d)
+	}
+}

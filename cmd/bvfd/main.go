@@ -1,0 +1,183 @@
+// Command bvfd is the fuzzing-as-a-service coordinator: it splits one
+// campaign into leased work units and serves them to bvf -worker
+// processes over a small HTTP+JSON control plane.
+//
+// Usage:
+//
+//	bvfd [-addr HOST:PORT] [-version bpf-next|v6.1|v5.15] [-iters N]
+//	     [-seed N] [-units N] [-tool bvf|syzkaller|buzzer|buzzer-random]
+//	     [-nosanitize] [-oracle] [-sync-every N] [-lease-ttl D]
+//	     [-checkpoint FILE] [-findings-dir DIR] [-triage]
+//
+// Units are leased with a TTL kept alive by worker heartbeats; a worker
+// that dies simply stops heartbeating and its unit is re-leased with its
+// full iteration quota (results commit only on unit completion, so no
+// budget is ever lost). Lease fencing tokens carry the coordinator
+// incarnation, which -checkpoint persists across restarts: a restarted
+// coordinator resumes the campaign, re-leases unfinished units, and
+// rejects any late results from leases it granted in a previous life.
+//
+// bvfd exits when the campaign completes, after printing the merged
+// statistics. With -findings-dir every accepted unit's deduplicated
+// findings are ingested into the crash-safe store as they arrive, and
+// -triage runs the validation gauntlet over them before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/orchestrator"
+	"repro/internal/triage"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8377", "control-plane listen address")
+		version   = flag.String("version", "bpf-next", "kernel version: v5.15, v6.1 or bpf-next")
+		iters     = flag.Int("iters", 100000, "campaign-wide iteration budget")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		units     = flag.Int("units", 8, "work units (shards of the equivalent single-process campaign)")
+		tool      = flag.String("tool", "bvf", "generator: bvf, syzkaller, buzzer, buzzer-random")
+		noSan     = flag.Bool("nosanitize", false, "disable the BVF sanitation patches")
+		oracle    = flag.Bool("oracle", false, "arm the abstract-state soundness oracle on every worker")
+		syncEvery = flag.Int("sync-every", 1024, "worker round length in iterations (bounds abandon latency)")
+		leaseTTL  = flag.Duration("lease-ttl", 15*time.Second, "lease expiry without a heartbeat")
+
+		ckptPath    = flag.String("checkpoint", "", "lease-table checkpoint for crash-safe coordination")
+		findingsDir = flag.String("findings-dir", "", "directory for the shared crash-safe finding store (empty: in-memory)")
+		doTriage    = flag.Bool("triage", false, "run the validation gauntlet over the findings after the campaign")
+		verbose     = flag.Bool("v", false, "log every lease, heartbeat rejection, and unit completion")
+	)
+	flag.Parse()
+
+	spec := orchestrator.CampaignSpec{
+		Tool:       *tool,
+		Version:    *version,
+		Sanitize:   !*noSan,
+		Oracle:     *oracle,
+		Seed:       *seed,
+		TotalIters: *iters,
+		Units:      *units,
+		SyncEvery:  *syncEvery,
+	}
+	store, err := triage.Open(*findingsDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvfd: findings store: %v\n", err)
+		return 1
+	}
+	if damaged := store.Damaged(); len(damaged) > 0 {
+		fmt.Fprintf(os.Stderr, "bvfd: WARNING: skipping %d corrupt finding file(s): %v\n", len(damaged), damaged)
+	}
+	logf := func(format string, args ...any) {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "bvfd: "+format+"\n", args...)
+		}
+	}
+	pollInterval := *leaseTTL / 4
+	coord, err := orchestrator.NewCoordinator(orchestrator.CoordinatorConfig{
+		Spec:           spec,
+		LeaseTTL:       *leaseTTL,
+		PollInterval:   pollInterval,
+		CheckpointPath: *ckptPath,
+		Store:          store,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvfd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvfd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: orchestrator.NewServer(coord)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("bvfd: coordinating %s on %s for %d iterations across %d units (seed=%d, lease TTL %s)\n",
+		spec.Tool, ln.Addr(), spec.TotalIters, spec.Units, spec.Seed, *leaseTTL)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	start := time.Now()
+	select {
+	case <-coord.Done():
+	case sig := <-sigs:
+		// The lease table is already durable (when -checkpoint is set);
+		// restarting bvfd resumes the campaign where it stopped.
+		fmt.Fprintf(os.Stderr, "bvfd: %v: shutting down with campaign unfinished\n", sig)
+		printStatus(coord.Status())
+		_ = srv.Close()
+		return 1
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "bvfd: serve: %v\n", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	// Drain: keep answering for a couple of poll intervals so every
+	// waiting worker's next lease call sees StatusDone and exits cleanly,
+	// instead of dying on a refused connection.
+	grace := 2 * pollInterval
+	if grace < time.Second {
+		grace = time.Second
+	}
+	time.Sleep(grace)
+	_ = srv.Close()
+
+	st := coord.Merged()
+	fmt.Printf("\ncampaign complete in %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("iterations:       %d\n", st.Iterations)
+	fmt.Printf("accepted:         %d (%.1f%%)\n", st.Accepted, 100*st.AcceptanceRate())
+	fmt.Printf("verifier coverage:%d branches\n", st.Coverage.Count())
+	fmt.Printf("refunded leases:  %d\n", coord.Refunds())
+	printStatus(coord.Status())
+	fmt.Printf("bugs found:       %d (%d verifier correctness, %d manifestations)\n",
+		len(st.BugIDs()), st.VerifierBugsFound(), len(st.Bugs))
+	var recs []*core.BugRecord
+	for _, rec := range st.Bugs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].FoundAt < recs[j].FoundAt })
+	for _, rec := range recs {
+		fmt.Printf("  [iter %7d] %-30s indicator%d  %s\n", rec.FoundAt, rec.ID, rec.Indicator, rec.Kind)
+	}
+	if damaged := store.Damaged(); len(damaged) > 0 {
+		fmt.Printf("\nWARNING: %d corrupt finding file(s) skipped by the store: %v\n", len(damaged), damaged)
+	}
+
+	if *doTriage && store.Len() > 0 {
+		fmt.Printf("\nvalidating %d finding(s) through the gauntlet...\n\n", store.Len())
+		g := triage.New(triage.Config{}, store)
+		sum, gerr := g.Run()
+		sum.Print(os.Stdout)
+		if gerr != nil {
+			fmt.Fprintf(os.Stderr, "bvfd: triage: %v\n", gerr)
+			return 1
+		}
+	}
+	return 0
+}
+
+// printStatus renders the worker fleet summary.
+func printStatus(s orchestrator.StatusResponse) {
+	fmt.Printf("workers:          %d registered\n", len(s.Workers))
+	for _, w := range s.Workers {
+		live := "gone"
+		if w.Live {
+			live = "live"
+		}
+		fmt.Printf("  %-20s %-4s %d unit(s) completed\n", w.Name, live, w.UnitsDone)
+	}
+}

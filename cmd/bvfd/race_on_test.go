@@ -1,0 +1,11 @@
+//go:build race
+
+package main
+
+// raceEnabled lets the e2e smoke test skip under the race detector: its
+// in-process reference campaign is hundreds of thousands of simulated
+// iterations (~30x slower with the detector), and the subprocess side is
+// compiled without instrumentation anyway. The dedicated CI step runs it
+// uninstrumented; the orchestrator package's in-process tests keep the
+// coordinator/worker paths race-checked.
+const raceEnabled = true

@@ -1,0 +1,98 @@
+package backoff
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayExponentialCapped(t *testing.T) {
+	p := Exp(50*time.Millisecond, 5*time.Second)
+	want := []time.Duration{
+		50 * time.Millisecond,  // attempt 1
+		100 * time.Millisecond, // 2
+		200 * time.Millisecond, // 3
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayBaseAboveMax(t *testing.T) {
+	p := Exp(10*time.Second, time.Second)
+	if got := p.Delay(1); got != time.Second {
+		t.Errorf("Delay(1) = %v, want clamp to %v", got, time.Second)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Jitter: 0.5, Seed: 42}
+	q := Policy{Base: time.Second, Max: time.Minute, Jitter: 0.5, Seed: 43}
+	sawDifferent := false
+	for n := 1; n <= 10; n++ {
+		full := Exp(p.Base, p.Max).Delay(n)
+		d1, d2 := p.Delay(n), p.Delay(n)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", n, d1, d2)
+		}
+		if d1 > full || d1 < full/2 {
+			t.Errorf("Delay(%d) = %v outside jitter band [%v, %v]", n, d1, full/2, full)
+		}
+		if q.Delay(n) != d1 {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Error("two seeds produced identical schedules; jitter is not seed-keyed")
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Retry(5, Exp(time.Millisecond, 8*time.Millisecond),
+		func(d time.Duration) { slept = append(slept, d) },
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+	wantSleeps := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(wantSleeps) {
+		t.Fatalf("slept %v, want %v", slept, wantSleeps)
+	}
+	for i := range slept {
+		if slept[i] != wantSleeps[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], wantSleeps[i])
+		}
+	}
+}
+
+func TestRetryExhaustsAndReturnsLastError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(3, Exp(time.Microsecond, time.Microsecond), func(time.Duration) {},
+		func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+}

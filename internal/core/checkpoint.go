@@ -109,6 +109,12 @@ func (s *Snapshot) TotalDone() int {
 	return n
 }
 
+// Normalize re-initializes the map fields gob omits when empty, so a
+// restored Stats is indistinguishable from a NewStats-built one. Every
+// consumer of gob-decoded statistics (checkpoint resume, the
+// orchestrator's result ingest) must call it before merging.
+func (s *Stats) Normalize() { s.normalize() }
+
 // normalize re-initializes the map fields gob omits when empty, so a
 // restored Stats is indistinguishable from a NewStats-built one.
 func (s *Stats) normalize() {

@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/isa"
 )
 
@@ -75,19 +76,10 @@ func (s SupervisorConfig) execTimeout() time.Duration {
 }
 
 // backoff returns the sleep before restart number n (1-based),
-// exponential in n and capped at BackoffMax.
+// exponential in n and capped at BackoffMax (shared schedule in
+// internal/backoff).
 func (s SupervisorConfig) backoff(n int) time.Duration {
-	d := s.BackoffBase
-	for i := 1; i < n; i++ {
-		d *= 2
-		if d >= s.BackoffMax {
-			return s.BackoffMax
-		}
-	}
-	if d > s.BackoffMax {
-		return s.BackoffMax
-	}
-	return d
+	return backoff.Exp(s.BackoffBase, s.BackoffMax).Delay(n)
 }
 
 // HarnessCrash is one contained harness panic — in a fuzzer a harness

@@ -1,0 +1,193 @@
+package orchestrator
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/faultinject"
+)
+
+// Client is the worker-side view of the control plane. Every call
+// retries transport failures and 5xx responses with seeded-jittered
+// exponential backoff; protocol-level rejections (fenced, 4xx) are
+// returned immediately — retrying a fenced call can never succeed.
+type Client struct {
+	// BaseURL is the coordinator address, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTP is the transport; nil selects a client with a 10s per-attempt
+	// timeout.
+	HTTP *http.Client
+	// Retry shapes the per-call retry schedule. Zero value selects
+	// 100ms..5s with 0.5 jitter seeded from the worker name.
+	Retry backoff.Policy
+	// Attempts bounds tries per call. Default 5.
+	Attempts int
+	// Sleep replaces time.Sleep between retries (tests stub it).
+	Sleep func(time.Duration)
+	// Logf, when non-nil, receives retry log lines.
+	Logf func(format string, args ...any)
+}
+
+// NewClient returns a client for the coordinator at baseURL with the
+// retry stream seeded from the worker identity, so a fleet's retry
+// schedules decorrelate deterministically.
+func NewClient(baseURL, worker string) *Client {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(worker))
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+		Retry: backoff.Policy{
+			Base: 100 * time.Millisecond, Max: 5 * time.Second,
+			Jitter: 0.5, Seed: int64(h.Sum64()),
+		},
+		Attempts: 5,
+	}
+}
+
+// transientError marks a failure worth retrying (network error or 5xx).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Register announces the worker.
+func (c *Client) Register(req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.call(PathRegister, req, &resp)
+	return resp, err
+}
+
+// Lease requests a work unit.
+func (c *Client) Lease(req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.call(PathLease, req, &resp)
+	return resp, err
+}
+
+// Heartbeat keeps a lease alive.
+func (c *Client) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.call(PathHeartbeat, req, &resp)
+	return resp, err
+}
+
+// Result submits a completed unit.
+func (c *Client) Result(req ResultRequest) (ResultResponse, error) {
+	var resp ResultResponse
+	err := c.call(PathResult, req, &resp)
+	return resp, err
+}
+
+// Status fetches the coordinator's lease-table snapshot.
+func (c *Client) Status() (StatusResponse, error) {
+	var resp StatusResponse
+	err := c.retry(PathStatus, func() error {
+		httpResp, err := c.http().Get(c.BaseURL + PathStatus)
+		if err != nil {
+			return &transientError{err}
+		}
+		return decodeResponse(httpResp, &resp)
+	})
+	return resp, err
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts <= 0 {
+		return 5
+	}
+	return c.Attempts
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c.HTTP
+}
+
+// call POSTs req as JSON and decodes the response into resp, retrying
+// transient failures with the client's backoff schedule.
+func (c *Client) call(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("orchestrator: client: encode %s: %w", path, err)
+	}
+	return c.retry(path, func() error {
+		return c.attemptOnce(path, body, resp)
+	})
+}
+
+// retry runs one attempt function under the client's backoff schedule.
+// Only *transientError (network failure, 5xx) is retried; a hard error —
+// a protocol rejection — aborts immediately, because retrying it can
+// never succeed.
+func (c *Client) retry(path string, attemptFn func() error) error {
+	attempt := 0
+	var hard error
+	err := backoff.Retry(c.attempts(), c.Retry, c.Sleep, func() error {
+		attempt++
+		err := attemptFn()
+		if err == nil {
+			return nil
+		}
+		if _, transient := err.(*transientError); !transient {
+			hard = err
+			return nil // stop retrying; surfaced below
+		}
+		if c.Logf != nil && attempt < c.attempts() {
+			c.Logf("call %s attempt %d failed (retrying): %v", path, attempt, err)
+		}
+		return err
+	})
+	if hard != nil {
+		return hard
+	}
+	return unwrapTransient(err)
+}
+
+// attemptOnce is one POST round-trip. The "orch.client" fault point lets
+// tests fail attempts deterministically before any network I/O.
+func (c *Client) attemptOnce(path string, body []byte, resp any) error {
+	if err := faultinject.FireErr("orch.client"); err != nil {
+		return &transientError{err}
+	}
+	httpResp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return &transientError{err}
+	}
+	return decodeResponse(httpResp, resp)
+}
+
+// decodeResponse maps an HTTP response onto the caller's struct. 5xx is
+// transient (retry); anything else non-200 is a hard protocol error.
+func decodeResponse(httpResp *http.Response, resp any) error {
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode >= 500 {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return &transientError{fmt.Errorf("orchestrator: server error %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))}
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return fmt.Errorf("orchestrator: coordinator rejected call (%d): %s", httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return &transientError{fmt.Errorf("orchestrator: decode response: %w", err)}
+	}
+	return nil
+}
+
+// unwrapTransient strips the retry-classification wrapper from the final
+// error handed back to callers.
+func unwrapTransient(err error) error {
+	if te, ok := err.(*transientError); ok {
+		return te.err
+	}
+	return err
+}

@@ -1,0 +1,82 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/faultinject"
+)
+
+// Paths of the control-plane endpoints.
+const (
+	PathRegister  = "/v1/register"
+	PathLease     = "/v1/lease"
+	PathHeartbeat = "/v1/heartbeat"
+	PathResult    = "/v1/result"
+	PathStatus    = "/v1/status"
+)
+
+// NewServer wraps a coordinator in the HTTP+JSON control plane. Every
+// handler passes the "orch.server" fault point first, so tests can make
+// the coordinator drop requests (500) deterministically and prove the
+// client-side retry path.
+func NewServer(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, func(req RegisterRequest) (RegisterResponse, error) {
+			return c.Register(req), nil
+		})
+	})
+	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, func(req LeaseRequest) (LeaseResponse, error) {
+			return c.Lease(req), nil
+		})
+	})
+	mux.HandleFunc(PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, func(req HeartbeatRequest) (HeartbeatResponse, error) {
+			return c.Heartbeat(req), nil
+		})
+	})
+	mux.HandleFunc(PathResult, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, c.Result)
+	})
+	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		if err := faultinject.FireErr("orch.server"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, c.Status())
+	})
+	return mux
+}
+
+// handle decodes a JSON request body, runs fn, and encodes the response.
+// Handler errors are reported as 400s (they are caller mistakes — bad
+// payloads — not transient server state, so clients must not retry them).
+func handle[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+	if err := faultinject.FireErr("orch.server"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp, err := fn(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/bugs"
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -211,19 +212,10 @@ func (g *Gauntlet) stageReplay(f *Finding) {
 	}
 }
 
-// backoff returns the exponential re-validation delay for round n.
+// backoff returns the exponential re-validation delay for round n
+// (shared schedule in internal/backoff).
 func (g *Gauntlet) backoff(n int) time.Duration {
-	d := g.cfg.BackoffBase
-	for i := 1; i < n; i++ {
-		d *= 2
-		if d >= g.cfg.BackoffMax {
-			return g.cfg.BackoffMax
-		}
-	}
-	if d > g.cfg.BackoffMax {
-		d = g.cfg.BackoffMax
-	}
-	return d
+	return backoff.Exp(g.cfg.BackoffBase, g.cfg.BackoffMax).Delay(n)
 }
 
 // artifactCorrelated reports whether a non-reproducing finding traces

@@ -11,12 +11,23 @@
 //	    [-triage] [-findings-dir DIR] [-oracle] [-cache]
 //	    [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	bvf -worker [-coordinator URL] [-worker-name NAME]
+//	bvf -submit [-coordinator URL] [-token T] [campaign flags]
+//	bvf -campaigns | -campaign-status ID | -stop-campaign ID | -drain
+//	    [-coordinator URL] [-token T]
 //
 // In -worker mode the process joins a distributed campaign instead of
 // running its own: it registers with a bvfd coordinator, leases work
 // units (seed + iteration quota), heartbeats while executing them, and
-// submits each unit's statistics. The campaign definition comes from the
-// coordinator; the local campaign flags are ignored.
+// submits each unit's statistics. The campaign definitions come from the
+// coordinator with each lease; the local campaign flags are ignored.
+//
+// The campaign subcommands manage a multi-campaign bvfd service:
+// -submit admits a new campaign built from the local campaign flags
+// (-iters, -seed, -workers as the unit count, -tool, ...), -campaigns
+// lists the registry, -campaign-status prints one campaign's lease
+// table, -stop-campaign drains one campaign to completion with partial
+// results, and -drain gracefully shuts down the whole coordinator.
+// -token authenticates against a bvfd started with -auth.
 //
 // The campaign is sharded across -workers parallel fuzzing instances
 // (default: all CPUs), each with its own simulated kernel, RNG and
@@ -90,8 +101,15 @@ func run() int {
 		cacheFlag   = flag.Bool("cache", false, "memoize verifier verdicts in a cross-shard cache (incremental re-verification)")
 
 		workerMode  = flag.Bool("worker", false, "run as an orchestrator worker: lease and execute units from -coordinator")
-		coordinator = flag.String("coordinator", "http://127.0.0.1:8377", "bvfd coordinator URL for -worker mode")
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8377", "bvfd coordinator URL for -worker mode and the campaign subcommands")
 		workerName  = flag.String("worker-name", "", "worker identity offered to the coordinator (empty: assigned)")
+
+		token      = flag.String("token", "", "bearer token for coordinator admission control")
+		submit     = flag.Bool("submit", false, "submit the campaign described by the local flags to -coordinator and exit")
+		listCamps  = flag.Bool("campaigns", false, "list the coordinator's campaigns and exit")
+		statusID   = flag.String("campaign-status", "", "print one campaign's lease-table snapshot and exit")
+		stopID     = flag.String("stop-campaign", "", "stop a campaign (it completes with partial results) and exit")
+		drainCoord = flag.Bool("drain", false, "ask the coordinator to drain (finish in-flight units, checkpoint, exit) and exit")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -100,6 +118,18 @@ func run() int {
 		// Worker mode ignores the campaign flags: the campaign spec comes
 		// from the coordinator, which is what keeps a fleet consistent.
 		return runWorker(*coordinator, *workerName)
+	}
+	if *submit || *listCamps || *statusID != "" || *stopID != "" || *drainCoord {
+		spec := orchestrator.CampaignSpec{
+			Tool: *tool, Version: *versionFlag, Sanitize: !*noSan,
+			Oracle: *oracleFlag, Seed: *seed, TotalIters: *iters,
+			Units: *workers, SyncEvery: 1024,
+		}
+		return runCampaignOp(campaignOp{
+			coordinator: *coordinator, token: *token, spec: spec,
+			submit: *submit, list: *listCamps,
+			statusID: *statusID, stopID: *stopID, drain: *drainCoord,
+		})
 	}
 
 	stopProf, perr := profFlags.Start()
@@ -329,6 +359,82 @@ func runWorker(coordinator, name string) int {
 		return 1
 	}
 	fmt.Printf("bvf worker: done (%d units completed)\n", w.UnitsDone())
+	return 0
+}
+
+// campaignOp bundles one control-plane subcommand invocation.
+type campaignOp struct {
+	coordinator, token string
+	spec               orchestrator.CampaignSpec
+	submit, list       bool
+	statusID, stopID   string
+	drain              bool
+}
+
+// runCampaignOp executes the campaign-management subcommands against a
+// bvfd coordinator. The client retries transient failures (including
+// 429 shedding, honoring the server's Retry-After hint) and surfaces
+// hard rejections — bad token, over-quota budget — immediately.
+func runCampaignOp(op campaignOp) int {
+	cl := orchestrator.NewClient(op.coordinator, "bvf-cli")
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "bvf: %v\n", err)
+		return 1
+	}
+	switch {
+	case op.submit:
+		resp, err := cl.Submit(orchestrator.SubmitRequest{Token: op.token, Spec: op.spec})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("campaign %s submitted (%s): %s for %d iterations across %d units\n",
+			resp.ID, resp.State, op.spec.Tool, op.spec.TotalIters, op.spec.Units)
+	case op.list:
+		resp, err := cl.Campaigns(orchestrator.ListRequest{Token: op.token})
+		if err != nil {
+			return fail(err)
+		}
+		if resp.Draining {
+			fmt.Println("coordinator: DRAINING")
+		}
+		fmt.Printf("%-6s %-12s %-10s %-10s %8s %12s  %s\n", "ID", "OWNER", "STATE", "TOOL", "UNITS", "ITERS", "NOTES")
+		for _, c := range resp.Campaigns {
+			notes := ""
+			if c.Stopped {
+				notes = "stopped"
+			}
+			if c.Failure != "" {
+				notes = "failure: " + c.Failure
+			}
+			fmt.Printf("%-6s %-12s %-10s %-10s %4d/%-4d %12d  %s\n",
+				c.ID, c.Owner, c.State, c.Spec.Tool, c.UnitsDone, c.Units, c.Iterations, notes)
+		}
+	case op.statusID != "":
+		resp, err := cl.Status(op.statusID)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("campaign %s: %s, %d/%d units done, %d iterations merged, %d refunded lease(s)\n",
+			resp.Campaign, resp.State, resp.UnitsDone, len(resp.Units), resp.Iterations, resp.RefundedLeases)
+		for _, u := range resp.Units {
+			fmt.Printf("  unit %2d [%d iters] %-8s %s\n", u.ID, u.Quota, u.State, u.Worker)
+		}
+		for _, b := range resp.Bugs {
+			fmt.Printf("  bug %s\n", b)
+		}
+	case op.stopID != "":
+		resp, err := cl.StopCampaign(orchestrator.StopRequest{Token: op.token, ID: op.stopID})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("campaign %s: %s\n", resp.ID, resp.State)
+	case op.drain:
+		resp, err := cl.Drain(orchestrator.DrainRequest{Token: op.token})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("coordinator draining %d active campaign(s)\n", resp.Campaigns)
+	}
 	return 0
 }
 

@@ -59,6 +59,39 @@ func (p Policy) Delay(n int) time.Duration {
 	return d
 }
 
+// DelayWithHint returns the sleep before attempt n when the server
+// supplied a Retry-After hint. The hint is clamped into the jitter
+// envelope rather than obeyed verbatim: it can stretch the schedule (a
+// shedding coordinator knows better than the client's fixed curve) but
+// never past Max, and the policy's jitter still applies on top — a fleet
+// told "retry after 2s" must spread over [2s·(1-Jitter), 2s], not
+// hammer back in lockstep at exactly 2s. A zero or negative hint
+// degrades to the plain Delay schedule.
+func (p Policy) DelayWithHint(n int, hint time.Duration) time.Duration {
+	if hint <= 0 {
+		return p.Delay(n)
+	}
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if hint > d {
+		d = hint
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 && d > 0 {
+		u := float64(splitmix64(uint64(p.Seed)^uint64(n))>>11) / (1 << 53)
+		d -= time.Duration(float64(d) * p.Jitter * u)
+	}
+	return d
+}
+
 // Retry calls fn up to attempts times, sleeping p.Delay(attempt) between
 // failures via sleep (pass nil for time.Sleep). It returns nil on the
 // first success, or the last error once the attempts are exhausted.

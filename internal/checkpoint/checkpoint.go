@@ -22,6 +22,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/faultinject"
 )
@@ -89,6 +90,16 @@ func Save(path string, v any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	// Simulated ENOSPC/short write: half the envelope lands in the temp
+	// file, then the write fails — exactly the wreckage a full disk
+	// leaves. The rename never happens, so the previous checkpoint at
+	// path stays intact and the torn bytes stay quarantined in the .tmp
+	// staging file Load never reads.
+	if err := faultinject.FireErr("checkpoint.write"); err != nil {
+		_, _ = f.Write(buf[:len(buf)/2])
+		f.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
@@ -112,16 +123,25 @@ func Save(path string, v any) error {
 	return syncDir(filepath.Dir(path))
 }
 
-// syncDir fsyncs a directory so the rename itself is durable. Some
-// filesystems reject fsync on directories; that is not a consistency
-// problem (the rename is still atomic), so those errors are ignored.
+// syncDir fsyncs a directory so the rename itself — the new file's
+// directory entry — is durable. Real fsync failures are propagated: a
+// caller that just created a finding or checkpoint file must learn its
+// directory entry may not survive a power cut, not be told everything is
+// durable. Filesystems that reject directory fsync outright (EINVAL /
+// ENOTSUP) are tolerated — rename is still atomic there, durability of
+// the entry is simply not something the OS lets us buy.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return nil
+		return fmt.Errorf("checkpoint: open %s for fsync: %w", dir, err)
 	}
 	defer d.Close()
-	_ = d.Sync()
+	if err := faultinject.FireErr("checkpoint.syncdir"); err != nil {
+		return fmt.Errorf("checkpoint: fsync %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("checkpoint: fsync %s: %w", dir, err)
+	}
 	return nil
 }
 

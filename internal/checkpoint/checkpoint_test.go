@@ -111,3 +111,55 @@ func TestExists(t *testing.T) {
 		t.Error("Exists after Save")
 	}
 }
+
+// TestShortWriteLeavesPreviousIntact simulates ENOSPC mid-envelope (the
+// "checkpoint.write" fault point): the temp file is torn, the save
+// fails, and the previous checkpoint at the final path is untouched —
+// then a later save (disk space back) succeeds normally.
+func TestShortWriteLeavesPreviousIntact(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := Save(path, &payload{N: 1, Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm("checkpoint.write", faultinject.Fault{Kind: faultinject.Error, OnHit: 1})
+	if err := Save(path, &payload{N: 2, Name: "new"}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("short-write save: err = %v, want injected", err)
+	}
+	// The torn bytes are quarantined in the staging file; the real path
+	// still loads the previous state.
+	if fi, err := os.Stat(path + TempSuffix); err != nil || fi.Size() == 0 {
+		t.Fatalf("expected a torn staging file: %v", err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil || out.N != 1 {
+		t.Fatalf("after short write: Load = (%+v, %v), want the old checkpoint", out, err)
+	}
+
+	// Disk space returns: the next save replaces old with new, atomically.
+	if err := Save(path, &payload{N: 2, Name: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, &out); err != nil || out.N != 2 {
+		t.Fatalf("after recovery: Load = (%+v, %v), want the new checkpoint", out, err)
+	}
+}
+
+// TestDirSyncFailureSurfaces: a failed directory fsync after the rename
+// must surface to the caller — the file's directory entry may not
+// survive a power cut, and pretending otherwise hides a durability hole.
+// The file itself is still consistent (rename happened).
+func TestDirSyncFailureSurfaces(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "ckpt")
+	faultinject.Arm("checkpoint.syncdir", faultinject.Fault{Kind: faultinject.Error, OnHit: 1})
+	if err := Save(path, &payload{N: 7}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("dir-sync save: err = %v, want the fsync failure surfaced", err)
+	}
+	// Consistency is untouched: the renamed file validates and loads.
+	var out payload
+	if err := Load(path, &out); err != nil || out.N != 7 {
+		t.Fatalf("Load after failed dir sync = (%+v, %v)", out, err)
+	}
+}

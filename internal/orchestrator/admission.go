@@ -1,0 +1,88 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Admission control errors. The server maps them onto HTTP statuses:
+// ErrUnauthorized → 401 (hard — retrying a bad token cannot succeed),
+// ErrQuotaExceeded and ErrOverloaded → 429 with a Retry-After hint the
+// client's backoff honors (both clear on their own: campaigns finish,
+// load subsides), ErrDraining → 503 (this process is going away; a
+// bounded retry fails fast and the caller resubmits elsewhere).
+var (
+	ErrUnauthorized  = errors.New("orchestrator: unauthorized")
+	ErrQuotaExceeded = errors.New("orchestrator: client quota exceeded")
+	ErrOverloaded    = errors.New("orchestrator: coordinator overloaded")
+	ErrDraining      = errors.New("orchestrator: coordinator draining")
+	// ErrCampaignFault reports a recovered panic in one campaign's
+	// machinery. It maps to a 500 — transient from the caller's view: a
+	// one-off panic is consumed by the campaign's strike counter, and a
+	// retried call either succeeds or finds the campaign Failed (fenced).
+	ErrCampaignFault = errors.New("orchestrator: campaign machinery fault")
+)
+
+// ClientQuota names one authenticated client and bounds what it may ask
+// of the service.
+type ClientQuota struct {
+	// Token is the bearer secret presented on submissions.
+	Token string
+	// Name identifies the client in campaign ownership records.
+	Name string
+	// MaxCampaigns bounds the client's concurrent non-terminal
+	// campaigns; 0 means unlimited.
+	MaxCampaigns int
+	// MaxIters caps a single campaign's iteration budget; 0 means
+	// unlimited. Exceeding it is a hard rejection, not a 429 — waiting
+	// cannot make an oversized campaign fit.
+	MaxIters int
+}
+
+// AuthTable authenticates submission tokens. A nil *AuthTable means
+// open access: every caller is the anonymous client with no limits.
+type AuthTable struct {
+	byToken map[string]ClientQuota
+}
+
+// NewAuthTable indexes the quota list by token. Duplicate tokens are an
+// error — silently letting the last one win would swap a client's
+// limits out from under it.
+func NewAuthTable(quotas []ClientQuota) (*AuthTable, error) {
+	t := &AuthTable{byToken: make(map[string]ClientQuota, len(quotas))}
+	for _, q := range quotas {
+		if q.Token == "" {
+			return nil, fmt.Errorf("orchestrator: client %q has an empty token", q.Name)
+		}
+		if _, dup := t.byToken[q.Token]; dup {
+			return nil, fmt.Errorf("orchestrator: duplicate auth token for client %q", q.Name)
+		}
+		if q.Name == "" {
+			q.Name = "client-" + abbreviate(q.Token)
+		}
+		t.byToken[q.Token] = q
+	}
+	return t, nil
+}
+
+// abbreviate keeps token prefixes out of logs while still telling two
+// unnamed clients apart.
+func abbreviate(tok string) string {
+	if len(tok) > 4 {
+		return tok[:4]
+	}
+	return tok
+}
+
+// Authorize resolves a token to its client quota. On a nil table every
+// token (including none) is the unlimited anonymous client.
+func (t *AuthTable) Authorize(token string) (ClientQuota, error) {
+	if t == nil {
+		return ClientQuota{Name: "anonymous"}, nil
+	}
+	q, ok := t.byToken[token]
+	if !ok {
+		return ClientQuota{}, ErrUnauthorized
+	}
+	return q, nil
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/backoff"
@@ -51,8 +52,13 @@ func NewClient(baseURL, worker string) *Client {
 	}
 }
 
-// transientError marks a failure worth retrying (network error or 5xx).
-type transientError struct{ err error }
+// transientError marks a failure worth retrying (network error, 5xx, or
+// a 429 shed). A 429's Retry-After header rides along as hint; the retry
+// loop stretches its backoff to honor it.
+type transientError struct {
+	err  error
+	hint time.Duration
+}
 
 func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
@@ -85,16 +91,40 @@ func (c *Client) Result(req ResultRequest) (ResultResponse, error) {
 	return resp, err
 }
 
-// Status fetches the coordinator's lease-table snapshot.
-func (c *Client) Status() (StatusResponse, error) {
+// Status fetches one campaign's lease-table snapshot. An empty campaign
+// resolves to the only campaign when exactly one exists.
+func (c *Client) Status(campaign string) (StatusResponse, error) {
 	var resp StatusResponse
-	err := c.retry(PathStatus, func() error {
-		httpResp, err := c.http().Get(c.BaseURL + PathStatus)
-		if err != nil {
-			return &transientError{err}
-		}
-		return decodeResponse(httpResp, &resp)
-	})
+	err := c.call(PathStatus, StatusRequest{Campaign: campaign}, &resp)
+	return resp, err
+}
+
+// Submit submits a new campaign.
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.call(PathSubmit, req, &resp)
+	return resp, err
+}
+
+// Campaigns lists the campaign registry.
+func (c *Client) Campaigns(req ListRequest) (ListResponse, error) {
+	var resp ListResponse
+	err := c.call(PathList, req, &resp)
+	return resp, err
+}
+
+// StopCampaign stops one campaign (no new leases; in-flight units
+// resolve; the campaign completes with partial results).
+func (c *Client) StopCampaign(req StopRequest) (StopResponse, error) {
+	var resp StopResponse
+	err := c.call(PathStop, req, &resp)
+	return resp, err
+}
+
+// Drain asks the whole coordinator to drain and exit cleanly.
+func (c *Client) Drain(req DrainRequest) (DrainResponse, error) {
+	var resp DrainResponse
+	err := c.call(PathDrain, req, &resp)
 	return resp, err
 }
 
@@ -125,69 +155,83 @@ func (c *Client) call(path string, req, resp any) error {
 }
 
 // retry runs one attempt function under the client's backoff schedule.
-// Only *transientError (network failure, 5xx) is retried; a hard error —
-// a protocol rejection — aborts immediately, because retrying it can
-// never succeed.
+// Only *transientError (network failure, 5xx, 429 shed) is retried; a
+// hard error — a protocol rejection — aborts immediately, because
+// retrying it can never succeed. A 429's Retry-After hint stretches the
+// next delay through Policy.DelayWithHint: the fleet still spreads over
+// the jitter envelope, but never comes back before the server asked.
 func (c *Client) retry(path string, attemptFn func() error) error {
-	attempt := 0
-	var hard error
-	err := backoff.Retry(c.attempts(), c.Retry, c.Sleep, func() error {
-		attempt++
+	var last *transientError
+	for n := 1; n <= c.attempts(); n++ {
 		err := attemptFn()
 		if err == nil {
 			return nil
 		}
-		if _, transient := err.(*transientError); !transient {
-			hard = err
-			return nil // stop retrying; surfaced below
+		te, transient := err.(*transientError)
+		if !transient {
+			return err
 		}
-		if c.Logf != nil && attempt < c.attempts() {
-			c.Logf("call %s attempt %d failed (retrying): %v", path, attempt, err)
+		last = te
+		if n == c.attempts() {
+			break
 		}
-		return err
-	})
-	if hard != nil {
-		return hard
+		d := c.Retry.DelayWithHint(n, te.hint)
+		if c.Logf != nil {
+			c.Logf("call %s attempt %d failed (retrying in %v): %v", path, n, d, err)
+		}
+		c.sleep(d)
 	}
-	return unwrapTransient(err)
+	return last.err
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // attemptOnce is one POST round-trip. The "orch.client" fault point lets
 // tests fail attempts deterministically before any network I/O.
 func (c *Client) attemptOnce(path string, body []byte, resp any) error {
 	if err := faultinject.FireErr("orch.client"); err != nil {
-		return &transientError{err}
+		return &transientError{err: err}
 	}
 	httpResp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return &transientError{err}
+		return &transientError{err: err}
 	}
 	return decodeResponse(httpResp, resp)
 }
 
 // decodeResponse maps an HTTP response onto the caller's struct. 5xx is
-// transient (retry); anything else non-200 is a hard protocol error.
+// transient (retry); 429 is transient carrying the server's Retry-After
+// hint (shed load clears on its own — the right reaction is a longer
+// wait, not a failure); anything else non-200 is a hard protocol error.
 func decodeResponse(httpResp *http.Response, resp any) error {
 	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		var hint time.Duration
+		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+		return &transientError{
+			err:  fmt.Errorf("orchestrator: coordinator shed load (429): %s", bytes.TrimSpace(msg)),
+			hint: hint,
+		}
+	}
 	if httpResp.StatusCode >= 500 {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
-		return &transientError{fmt.Errorf("orchestrator: server error %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))}
+		return &transientError{err: fmt.Errorf("orchestrator: server error %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))}
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
 		return fmt.Errorf("orchestrator: coordinator rejected call (%d): %s", httpResp.StatusCode, bytes.TrimSpace(msg))
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
-		return &transientError{fmt.Errorf("orchestrator: decode response: %w", err)}
+		return &transientError{err: fmt.Errorf("orchestrator: decode response: %w", err)}
 	}
 	return nil
-}
-
-// unwrapTransient strips the retry-classification wrapper from the final
-// error handed back to callers.
-func unwrapTransient(err error) error {
-	if te, ok := err.(*transientError); ok {
-		return te.err
-	}
-	return err
 }

@@ -69,7 +69,11 @@ type Coordinator struct {
 
 	units   []*unitEntry
 	workers map[string]*workerEntry
-	nextID  int // worker auto-naming counter
+
+	// draining stops new lease grants while letting in-flight units
+	// heartbeat and submit: campaign-level drain (a stopped campaign) and
+	// coordinator-wide drain (SIGTERM) both set it.
+	draining bool
 
 	merged  *core.Stats
 	refunds int
@@ -248,20 +252,6 @@ func (c *Coordinator) checkpointLocked() error {
 	return checkpoint.Save(c.cfg.CheckpointPath, &snap)
 }
 
-// Register announces a worker and hands back the campaign spec.
-func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	name := req.Worker
-	if name == "" {
-		c.nextID++
-		name = fmt.Sprintf("worker-%d", c.nextID)
-	}
-	c.touchWorkerLocked(name)
-	c.logf("worker %s registered", name)
-	return RegisterResponse{Worker: name, Spec: c.cfg.Spec}
-}
-
 func (c *Coordinator) touchWorkerLocked(name string) {
 	w := c.workers[name]
 	if w == nil {
@@ -272,7 +262,8 @@ func (c *Coordinator) touchWorkerLocked(name string) {
 }
 
 // Lease grants the lowest-ID pending unit, or tells the worker to wait
-// (all units leased) or exit (campaign done).
+// (all units leased), that the campaign is draining (no new grants), or
+// to exit (campaign done).
 func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -292,6 +283,9 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	if allDone {
 		return LeaseResponse{Status: StatusDone}
 	}
+	if c.draining {
+		return LeaseResponse{Status: StatusDrain}
+	}
 	if grant == nil {
 		return LeaseResponse{Status: StatusWait, PollMillis: c.cfg.PollInterval.Milliseconds()}
 	}
@@ -304,10 +298,43 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	c.logf("unit %d leased to %s (token %s, quota %d)", grant.def.ID, req.Worker, grant.tok, grant.def.Quota)
 	return LeaseResponse{
 		Status:    StatusLease,
+		Spec:      c.cfg.Spec,
 		Unit:      grant.def,
 		Token:     grant.tok,
 		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
 	}
+}
+
+// SetDraining flips the drain flag: a draining coordinator grants no new
+// leases but keeps honoring heartbeats and accepting results for units
+// already in flight.
+func (c *Coordinator) SetDraining(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = v
+}
+
+// Outstanding expires dead leases against the current clock and returns
+// how many units remain leased — the quantity a drain waits to hit zero.
+func (c *Coordinator) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.Now())
+	n := 0
+	for _, u := range c.units {
+		if u.state == unitLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// Checkpoint persists the lease table now (drain uses it for the final
+// write before exit).
+func (c *Coordinator) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkpointLocked()
 }
 
 // Heartbeat extends a live lease. A heartbeat carrying anything but the

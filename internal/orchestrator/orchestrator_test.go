@@ -12,7 +12,6 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faultinject"
-	"repro/internal/triage"
 )
 
 // testSpec is the fixed campaign every test distributes: small enough to
@@ -68,6 +67,27 @@ func newTestCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
 	return c
+}
+
+// newTestManager builds a one-shot manager (workers are dismissed once
+// every campaign is terminal) and submits the given specs, returning the
+// assigned campaign IDs in order.
+func newTestManager(t *testing.T, cfg ManagerConfig, specs ...CampaignSpec) (*Manager, []string) {
+	t.Helper()
+	cfg.ExitWhenIdle = true
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	var ids []string
+	for i, spec := range specs {
+		resp, err := m.Submit(SubmitRequest{Spec: spec})
+		if err != nil {
+			t.Fatalf("submit campaign %d: %v", i, err)
+		}
+		ids = append(ids, resp.ID)
+	}
+	return m, ids
 }
 
 func TestSplitUnitsMatchesShardSplit(t *testing.T) {
@@ -364,8 +384,8 @@ func TestCheckpointSaveFailureTolerated(t *testing.T) {
 // caller never sees the blip.
 func TestClientRetriesTransientServerFaults(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
-	c := newTestCoordinator(t, CoordinatorConfig{Spec: testSpec()})
-	srv := httptest.NewServer(NewServer(c))
+	m, _ := newTestManager(t, ManagerConfig{}, testSpec())
+	srv := httptest.NewServer(NewServer(m))
 	defer srv.Close()
 
 	var slept []time.Duration
@@ -399,8 +419,8 @@ func TestClientRetriesTransientServerFaults(t *testing.T) {
 // TestClientHardErrorNotRetried: a 400 (protocol rejection) must surface
 // immediately — retrying a rejected payload can never succeed.
 func TestClientHardErrorNotRetried(t *testing.T) {
-	c := newTestCoordinator(t, CoordinatorConfig{Spec: testSpec()})
-	srv := httptest.NewServer(NewServer(c))
+	m, _ := newTestManager(t, ManagerConfig{}, testSpec())
+	srv := httptest.NewServer(NewServer(m))
 	defer srv.Close()
 
 	var slept []time.Duration
@@ -411,7 +431,7 @@ func TestClientHardErrorNotRetried(t *testing.T) {
 	if err != nil || lr.Status != StatusLease {
 		t.Fatalf("lease = (%+v, %v)", lr, err)
 	}
-	_, err = cl.Result(ResultRequest{Worker: "w1", UnitID: lr.Unit.ID, Token: lr.Token, Stats: []byte("junk")})
+	_, err = cl.Result(ResultRequest{Worker: "w1", Campaign: lr.Campaign, UnitID: lr.Unit.ID, Token: lr.Token, Stats: []byte("junk")})
 	if err == nil {
 		t.Fatal("undecodable result accepted")
 	}
@@ -428,10 +448,10 @@ func TestWorkerAbandonsFencedUnit(t *testing.T) {
 	spec.Units = 1
 	spec.TotalIters = 8
 	clock := newFakeClock()
-	c := newTestCoordinator(t, CoordinatorConfig{
-		Spec: spec, LeaseTTL: 10 * time.Second, Now: clock.Now,
-	})
-	srv := httptest.NewServer(NewServer(c))
+	m, ids := newTestManager(t, ManagerConfig{
+		LeaseTTL: 10 * time.Second, Now: clock.Now,
+	}, spec)
+	srv := httptest.NewServer(NewServer(m))
 	defer srv.Close()
 
 	attempts := 0
@@ -480,10 +500,10 @@ func TestWorkerAbandonsFencedUnit(t *testing.T) {
 	if attempts != 2 {
 		t.Fatalf("runner attempts = %d, want 2 (abandon, then complete)", attempts)
 	}
-	if got := c.Refunds(); got != 1 {
+	if got := m.Refunds(); got != 1 {
 		t.Fatalf("refunds = %d, want 1", got)
 	}
-	if got, want := c.Merged().Iterations, spec.TotalIters; got != want {
+	if got, want := m.MergedStats(ids[0]).Iterations, spec.TotalIters; got != want {
 		t.Fatalf("iterations = %d, want %d", got, want)
 	}
 }
@@ -522,18 +542,14 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 		t.Fatalf("reference campaign: %v", err)
 	}
 
-	// Distributed run with a shared findings registry.
-	store, err := triage.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := newTestCoordinator(t, CoordinatorConfig{
-		Spec:         spec,
+	// Distributed run through a manager with a persistent state dir (the
+	// campaign gets its own findings registry under it).
+	m, ids := newTestManager(t, ManagerConfig{
+		StateDir:     t.TempDir(),
 		LeaseTTL:     1500 * time.Millisecond,
 		PollInterval: 25 * time.Millisecond,
-		Store:        store,
-	})
-	srv := httptest.NewServer(NewServer(c))
+	}, spec)
+	srv := httptest.NewServer(NewServer(m))
 	defer srv.Close()
 
 	// The doomed worker dies mid-lease: the "orch.worker.unit" fault
@@ -574,17 +590,17 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 		}
 	}
 	select {
-	case <-c.Done():
+	case <-m.Done():
 	default:
 		t.Fatal("campaign not done after all workers exited")
 	}
-	if got := c.Refunds(); got < 1 {
+	if got := m.Refunds(); got < 1 {
 		t.Fatalf("refunds = %d, want at least the doomed worker's lease", got)
 	}
 
 	// Equivalence: same iteration total, same deduplicated BugKey set,
 	// same bug discovery points, same merged coverage.
-	merged := c.Merged()
+	merged := m.MergedStats(ids[0])
 	if merged.Iterations != refStats.Iterations {
 		t.Errorf("iterations = %d, reference = %d", merged.Iterations, refStats.Iterations)
 	}
@@ -612,8 +628,9 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 	if got, want := merged.Coverage.Count(), refStats.Coverage.Count(); got != want {
 		t.Errorf("coverage = %d branches, reference = %d", got, want)
 	}
-	// The shared registry deduplicated across units: one finding per
+	// The campaign's registry deduplicated across units: one finding per
 	// unique BugKey, none damaged.
+	store := m.Store(ids[0])
 	if got, want := store.Len(), len(refStats.Bugs); got != want {
 		t.Errorf("findings store has %d entries, want %d", got, want)
 	}
@@ -631,10 +648,10 @@ func TestWorkerDiesAfterExecutionBeforeSubmit(t *testing.T) {
 	spec.Units = 1
 	spec.TotalIters = 20
 	clock := newFakeClock()
-	c := newTestCoordinator(t, CoordinatorConfig{
-		Spec: spec, LeaseTTL: 10 * time.Second, Now: clock.Now,
-	})
-	srv := httptest.NewServer(NewServer(c))
+	m, ids := newTestManager(t, ManagerConfig{
+		LeaseTTL: 10 * time.Second, Now: clock.Now,
+	}, spec)
+	srv := httptest.NewServer(NewServer(m))
 	defer srv.Close()
 
 	faultinject.Arm("orch.worker.exec", faultinject.Fault{Kind: faultinject.Error, OnHit: 1})
@@ -642,7 +659,7 @@ func TestWorkerDiesAfterExecutionBeforeSubmit(t *testing.T) {
 	if err := doomed.Run(); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("doomed worker: err = %v, want injected death", err)
 	}
-	if got := c.Merged().Iterations; got != 0 {
+	if got := m.MergedStats(ids[0]).Iterations; got != 0 {
 		t.Fatalf("dead worker's unsubmitted work leaked: %d iterations", got)
 	}
 
@@ -651,10 +668,10 @@ func TestWorkerDiesAfterExecutionBeforeSubmit(t *testing.T) {
 	if err := w.Run(); err != nil {
 		t.Fatalf("recovery worker: %v", err)
 	}
-	if got := c.Refunds(); got != 1 {
+	if got := m.Refunds(); got != 1 {
 		t.Fatalf("refunds = %d, want 1", got)
 	}
-	if got, want := c.Merged().Iterations, spec.TotalIters; got != want {
+	if got, want := m.MergedStats(ids[0]).Iterations, spec.TotalIters; got != want {
 		t.Fatalf("iterations = %d, want %d", got, want)
 	}
 }

@@ -1,9 +1,15 @@
 // Package orchestrator is the fuzzing-as-a-service control plane: a
-// coordinator (cmd/bvfd) splits one campaign into leased work units and
-// hands them to worker processes (bvf -worker) over a small HTTP+JSON
-// protocol; workers execute each unit through the existing
-// core.ParallelCampaign engine, heartbeat while they work, and submit
-// the unit's statistics when done.
+// coordinator daemon (cmd/bvfd) runs a Manager of concurrent campaigns,
+// each split into leased work units handed to worker processes
+// (bvf -worker) over a small HTTP+JSON protocol; workers execute each
+// unit through the existing core.ParallelCampaign engine, heartbeat
+// while they work, and submit the unit's statistics when done.
+// Campaigns are submitted, listed, inspected, stopped, and drained over
+// the same control plane, each with its own lease table, iteration
+// axis, and crash-consistent findings store, driven by an explicit
+// lifecycle state machine (Pending → Running → Draining →
+// Completed/Failed) that is checkpointed and restored across
+// coordinator restarts.
 //
 // The robustness model is the PR 2 shard supervisor promoted from
 // goroutines to processes:
@@ -115,6 +121,11 @@ const (
 	StatusWait = "wait"
 	// StatusDone: the campaign is complete; the worker should exit.
 	StatusDone = "done"
+	// StatusDrain: the coordinator (or the addressed campaign) is
+	// draining — no new leases are granted. A worker should exit cleanly
+	// and re-register with another coordinator; its just-submitted
+	// results were accepted (drain never discards in-flight work).
+	StatusDrain = "drain"
 	// StatusOK acknowledges a heartbeat.
 	StatusOK = "ok"
 	// StatusFenced rejects a call carrying a superseded lease token.
@@ -125,6 +136,27 @@ const (
 	StatusAccepted = "accepted"
 )
 
+// Campaign lifecycle states. The state machine is
+// Pending → Running → Draining → Completed/Failed:
+//
+//   - Pending: admitted but not yet lease-eligible (the manager bounds
+//     how many campaigns run concurrently).
+//   - Running: units are leased to workers.
+//   - Draining: no new leases; in-flight units complete or expire.
+//   - Completed: every unit done, or a stopped campaign's in-flight
+//     units resolved (partial results, Stopped=true).
+//   - Failed: the campaign's machinery panicked past its strike budget
+//     or its persisted state restored corrupt. Terminal; its evidence
+//     (findings store, last checkpoint) is preserved on disk and every
+//     other campaign keeps leasing.
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateDraining  = "draining"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+)
+
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
 	// Worker is the caller's chosen identity; empty lets the coordinator
@@ -132,23 +164,37 @@ type RegisterRequest struct {
 	Worker string
 }
 
-// RegisterResponse names the worker and hands it the campaign spec.
+// RegisterResponse names the worker. The campaign specs themselves ride
+// on each lease (a multi-campaign coordinator hands out units from
+// whichever campaigns are running).
 type RegisterResponse struct {
 	Worker string
-	Spec   CampaignSpec
+	// Campaigns is the number of non-terminal campaigns at registration,
+	// for operator-facing logs only.
+	Campaigns int
 }
 
 // LeaseRequest asks for a work unit.
 type LeaseRequest struct {
 	Worker string
+	// Campaign, when non-empty, restricts the request to that campaign;
+	// empty lets the coordinator pick any running campaign's unit.
+	Campaign string
 }
 
 // LeaseResponse grants a unit (StatusLease), asks the worker to poll
-// again (StatusWait), or ends the worker (StatusDone).
+// again (StatusWait), ends the worker (StatusDone), or tells it the
+// coordinator is draining (StatusDrain).
 type LeaseResponse struct {
 	Status string
-	Unit   Unit
-	Token  Token
+	// Campaign identifies the granting campaign; heartbeats and results
+	// for the unit must carry it back.
+	Campaign string
+	// Spec is the granting campaign's spec; the worker builds the unit
+	// campaign from it.
+	Spec  CampaignSpec
+	Unit  Unit
+	Token Token
 	// TTLMillis is the lease TTL; the worker must heartbeat well inside
 	// it (TTL/3 is the convention) or the lease expires.
 	TTLMillis int64
@@ -159,9 +205,10 @@ type LeaseResponse struct {
 
 // HeartbeatRequest keeps a lease alive and reports progress.
 type HeartbeatRequest struct {
-	Worker string
-	UnitID int
-	Token  Token
+	Worker   string
+	Campaign string
+	UnitID   int
+	Token    Token
 	// Iters is the unit-local iteration progress, for observability; it
 	// carries no accounting weight (quota refunds are all-or-nothing).
 	Iters int
@@ -176,9 +223,10 @@ type HeartbeatResponse struct {
 
 // ResultRequest submits a completed unit's statistics.
 type ResultRequest struct {
-	Worker string
-	UnitID int
-	Token  Token
+	Worker   string
+	Campaign string
+	UnitID   int
+	Token    Token
 	// Stats is the gob-encoded *core.Stats of the unit campaign
 	// (EncodeStats/DecodeStats).
 	Stats []byte
@@ -189,9 +237,17 @@ type ResultResponse struct {
 	Status string
 }
 
-// StatusResponse is the coordinator's observable state: the e2e harness
+// StatusRequest asks for one campaign's lease-table snapshot. An empty
+// Campaign resolves to the only campaign when exactly one exists.
+type StatusRequest struct {
+	Campaign string
+}
+
+// StatusResponse is one campaign's observable state: the e2e harness
 // polls it to find a mid-lease victim, operators read it as a dashboard.
 type StatusResponse struct {
+	Campaign       string
+	State          string // lifecycle state (StatePending..StateFailed)
 	Spec           CampaignSpec
 	Done           bool
 	Iterations     int // merged iterations from completed units
@@ -201,6 +257,77 @@ type StatusResponse struct {
 	Workers        []WorkerStatus
 	Bugs           []string // sorted BugKey strings of the merged stats
 	DamagedStore   []string // corrupt finding files the registry skipped
+}
+
+// SubmitRequest submits a new campaign to the coordinator.
+type SubmitRequest struct {
+	// Token authenticates the submitting client when the coordinator has
+	// an auth table; ignored (open access) otherwise.
+	Token string
+	Spec  CampaignSpec
+}
+
+// SubmitResponse acknowledges an admitted campaign.
+type SubmitResponse struct {
+	ID    string
+	State string
+}
+
+// ListRequest asks for the campaign registry.
+type ListRequest struct {
+	Token string
+}
+
+// ListResponse enumerates campaigns in submission order.
+type ListResponse struct {
+	// Draining reports a coordinator-wide drain in progress.
+	Draining  bool
+	Campaigns []CampaignInfo
+}
+
+// CampaignInfo is one campaign's registry row.
+type CampaignInfo struct {
+	ID    string
+	Owner string // authenticated client that submitted it
+	State string
+	// Stopped marks a campaign that was stopped by request; a stopped
+	// campaign Completes with partial results once its in-flight units
+	// resolve.
+	Stopped bool
+	// Failure is the reason a Failed campaign failed.
+	Failure    string
+	Spec       CampaignSpec
+	Iterations int // merged so far
+	UnitsDone  int
+	Units      int
+}
+
+// StopRequest asks the coordinator to stop a campaign: no new leases,
+// in-flight units finish (or expire), then the campaign Completes with
+// partial results.
+type StopRequest struct {
+	Token string
+	ID    string
+}
+
+// StopResponse reports the campaign's post-stop state.
+type StopResponse struct {
+	ID    string
+	State string
+}
+
+// DrainRequest asks the whole coordinator to drain: every campaign
+// stops granting leases, in-flight units complete or expire, state is
+// checkpointed, and the process exits cleanly. Campaign lifecycle
+// states are untouched — a restarted coordinator resumes them.
+type DrainRequest struct {
+	Token string
+}
+
+// DrainResponse acknowledges the drain.
+type DrainResponse struct {
+	// Campaigns is the number of non-terminal campaigns being drained.
+	Campaigns int
 }
 
 // UnitStatus is one unit's lease-table row.

@@ -2,8 +2,11 @@ package orchestrator
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/faultinject"
 )
@@ -15,46 +18,119 @@ const (
 	PathHeartbeat = "/v1/heartbeat"
 	PathResult    = "/v1/result"
 	PathStatus    = "/v1/status"
+	PathSubmit    = "/v1/campaigns/submit"
+	PathList      = "/v1/campaigns/list"
+	PathStop      = "/v1/campaigns/stop"
+	PathDrain     = "/v1/drain"
 )
 
-// NewServer wraps a coordinator in the HTTP+JSON control plane. Every
-// handler passes the "orch.server" fault point first, so tests can make
-// the coordinator drop requests (500) deterministically and prove the
-// client-side retry path.
-func NewServer(c *Coordinator) http.Handler {
+// NewServer wraps a campaign manager in the HTTP+JSON control plane.
+// Every handler passes the "orch.server" fault point first, so tests can
+// make the coordinator drop requests (500) deterministically and prove
+// the client-side retry path.
+//
+// Admission errors map onto HTTP statuses the client understands:
+//
+//	401 bad token            hard — a new token is needed, not a retry
+//	429 quota / overload     transient — Retry-After carries the backoff
+//	                         hint the client's jittered schedule honors
+//	503 draining             transient — this process is going away; the
+//	                         bounded retry fails fast
+//	400 anything else        hard — bad spec, unknown campaign, ...
+//
+// The lease and submit paths sit behind an in-flight cap
+// (ManagerConfig.MaxInflight): past it, the coordinator sheds load with
+// 429 + Retry-After instead of queueing unboundedly. Heartbeats and
+// results are never shed — dropping them would expire live leases and
+// turn an overload blip into wasted re-execution.
+func NewServer(m *Manager) http.Handler {
+	shed := newShedder(m.MaxInflight())
+	retryAfter := m.RetryAfterHint()
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
-		handle(w, r, func(req RegisterRequest) (RegisterResponse, error) {
-			return c.Register(req), nil
+		handle(w, r, retryAfter, func(req RegisterRequest) (RegisterResponse, error) {
+			return m.Register(req), nil
 		})
 	})
 	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
-		handle(w, r, func(req LeaseRequest) (LeaseResponse, error) {
-			return c.Lease(req), nil
+		handle(w, r, retryAfter, func(req LeaseRequest) (LeaseResponse, error) {
+			if !shed.acquire() {
+				return LeaseResponse{}, ErrOverloaded
+			}
+			defer shed.release()
+			return m.Lease(req), nil
 		})
 	})
 	mux.HandleFunc(PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
-		handle(w, r, func(req HeartbeatRequest) (HeartbeatResponse, error) {
-			return c.Heartbeat(req), nil
+		handle(w, r, retryAfter, func(req HeartbeatRequest) (HeartbeatResponse, error) {
+			return m.Heartbeat(req), nil
 		})
 	})
 	mux.HandleFunc(PathResult, func(w http.ResponseWriter, r *http.Request) {
-		handle(w, r, c.Result)
+		handle(w, r, retryAfter, m.Result)
 	})
 	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
-		if err := faultinject.FireErr("orch.server"); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, c.Status())
+		handle(w, r, retryAfter, m.Status)
+	})
+	mux.HandleFunc(PathSubmit, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, retryAfter, func(req SubmitRequest) (SubmitResponse, error) {
+			if !shed.acquire() {
+				return SubmitResponse{}, ErrOverloaded
+			}
+			defer shed.release()
+			return m.Submit(req)
+		})
+	})
+	mux.HandleFunc(PathList, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, retryAfter, m.List)
+	})
+	mux.HandleFunc(PathStop, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, retryAfter, m.Stop)
+	})
+	mux.HandleFunc(PathDrain, func(w http.ResponseWriter, r *http.Request) {
+		handle(w, r, retryAfter, func(req DrainRequest) (DrainResponse, error) {
+			if _, err := m.cfg.Auth.Authorize(req.Token); err != nil {
+				return DrainResponse{}, err
+			}
+			return DrainResponse{Campaigns: m.Drain()}, nil
+		})
 	})
 	return mux
 }
 
+// shedder is the concurrent-request cap behind the shed-load paths. A
+// nil shedder (cap 0) admits everything.
+type shedder struct{ slots chan struct{} }
+
+func newShedder(max int) *shedder {
+	if max <= 0 {
+		return nil
+	}
+	return &shedder{slots: make(chan struct{}, max)}
+}
+
+func (s *shedder) acquire() bool {
+	if s == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *shedder) release() {
+	if s != nil {
+		<-s.slots
+	}
+}
+
 // handle decodes a JSON request body, runs fn, and encodes the response.
-// Handler errors are reported as 400s (they are caller mistakes — bad
-// payloads — not transient server state, so clients must not retry them).
-func handle[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+// Handler errors map to HTTP statuses via httpStatusFor; 429s carry the
+// manager's Retry-After hint.
+func handle[Req, Resp any](w http.ResponseWriter, r *http.Request, retryAfter time.Duration, fn func(Req) (Resp, error)) {
 	if err := faultinject.FireErr("orch.server"); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -70,10 +146,35 @@ func handle[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) 
 	}
 	resp, err := fn(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := httpStatusFor(err)
+		if status == http.StatusTooManyRequests {
+			secs := int(retryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	writeJSON(w, resp)
+}
+
+// httpStatusFor maps admission errors onto the statuses documented on
+// NewServer. Everything unrecognized is a 400: a caller mistake, not
+// transient server state, so clients must not retry it.
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusUnauthorized
+	case errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrCampaignFault):
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -82,8 +82,7 @@ func (w *Worker) Run() error {
 		return fmt.Errorf("orchestrator: worker register: %w", err)
 	}
 	w.name = reg.Worker
-	w.logf("registered as %s (tool=%s units=%d iters=%d)",
-		w.name, reg.Spec.Tool, reg.Spec.Units, reg.Spec.TotalIters)
+	w.logf("registered as %s (%d active campaign(s))", w.name, reg.Campaigns)
 	for !w.stopping.Load() {
 		lr, err := w.cfg.Client.Lease(LeaseRequest{Worker: w.name})
 		if err != nil {
@@ -91,12 +90,19 @@ func (w *Worker) Run() error {
 		}
 		switch lr.Status {
 		case StatusDone:
-			w.logf("campaign done, exiting")
+			w.logf("campaigns done, exiting")
+			return nil
+		case StatusDrain:
+			// The coordinator is going away. The worker's part of the
+			// graceful-drain contract is simply to go quietly: in-flight
+			// units were already submitted (a drain never interrupts
+			// executeUnit — we only see StatusDrain between units).
+			w.logf("coordinator draining, exiting")
 			return nil
 		case StatusWait:
 			w.sleep(time.Duration(lr.PollMillis) * time.Millisecond)
 		case StatusLease:
-			err := w.executeUnit(reg.Spec, lr)
+			err := w.executeUnit(lr)
 			if errors.Is(err, ErrUnitAbandoned) {
 				continue // superseded lease; grab the next unit
 			}
@@ -115,9 +121,9 @@ func (w *Worker) Run() error {
 // a fenced (or undeliverable) heartbeat flips the abort flag so the
 // runner stops at the next round edge instead of wasting a full quota on
 // results the coordinator will reject.
-func (w *Worker) executeUnit(spec CampaignSpec, lr LeaseResponse) error {
-	unit, tok := lr.Unit, lr.Token
-	w.logf("leased unit %d (seed=%d quota=%d token=%s)", unit.ID, unit.Seed, unit.Quota, tok)
+func (w *Worker) executeUnit(lr LeaseResponse) error {
+	spec, unit, tok := lr.Spec, lr.Unit, lr.Token
+	w.logf("leased %s unit %d (seed=%d quota=%d token=%s)", lr.Campaign, unit.ID, unit.Seed, unit.Quota, tok)
 
 	var iters atomic.Int64
 	var fenced atomic.Bool
@@ -141,8 +147,8 @@ func (w *Worker) executeUnit(spec CampaignSpec, lr LeaseResponse) error {
 				return
 			case <-t.C:
 				resp, err := w.cfg.Client.Heartbeat(HeartbeatRequest{
-					Worker: w.name, UnitID: unit.ID, Token: tok,
-					Iters: int(iters.Load()),
+					Worker: w.name, Campaign: lr.Campaign, UnitID: unit.ID,
+					Token: tok, Iters: int(iters.Load()),
 				})
 				if err != nil || resp.Status != StatusOK {
 					// Superseded lease, or a coordinator unreachable past
@@ -181,7 +187,8 @@ func (w *Worker) executeUnit(spec CampaignSpec, lr LeaseResponse) error {
 		return err
 	}
 	rr, err := w.cfg.Client.Result(ResultRequest{
-		Worker: w.name, UnitID: unit.ID, Token: tok, Stats: payload,
+		Worker: w.name, Campaign: lr.Campaign, UnitID: unit.ID,
+		Token: tok, Stats: payload,
 	})
 	if err != nil {
 		return fmt.Errorf("orchestrator: worker %s submit unit %d: %w", w.name, unit.ID, err)

@@ -165,3 +165,35 @@ func TestGauntletResumeMidway(t *testing.T) {
 		t.Errorf("summary stable = %d, want 1", sum.Stable)
 	}
 }
+
+// TestStorePutSurfacesDirSyncFailure: creating a new finding file whose
+// directory entry cannot be fsynced must fail the Put — the finding may
+// vanish on power loss, and the in-memory view must not get ahead of
+// what a restarted process would load.
+func TestStorePutSurfacesDirSyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("checkpoint.syncdir", faultinject.Fault{Kind: faultinject.Error, OnHit: 1})
+	f := storedFinding()
+	if err := s.Put(f); err == nil {
+		t.Fatal("Put with failing directory fsync reported success")
+	}
+	if s.Has(f.Key()) {
+		t.Fatal("failed Put left the finding in the in-memory view")
+	}
+	// The fault is gone; the retried Put lands and survives a reopen.
+	if err := s.Put(f); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(f.Key()) {
+		t.Fatal("finding missing after recovered Put and reopen")
+	}
+}

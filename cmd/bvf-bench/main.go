@@ -55,10 +55,12 @@ func run() int {
 		supervise = flag.Bool("supervise", false, "run experiment campaigns under the self-healing supervisor")
 		minBudget = flag.Duration("minimize-budget", core.DefaultMinimizeBudget,
 			"wall-clock budget per reproducer minimization (negative disables the bound)")
-		benchJSON  = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
-		oracleFlag = flag.Bool("oracle", false, "arm the abstract-state soundness oracle in the -bench-json campaign (measures its overhead)")
-		cacheFlag  = flag.Bool("cache", true, "memoize verifier verdicts in the -bench-json campaign (the committed baselines are cached)")
-		baseline   = flag.String("bench-baseline", "", "committed BENCH_*.json to compare against; >20% iters/sec regression fails the run")
+		benchJSON   = flag.String("bench-json", "", "run the fixed-seed throughput benchmark and write a JSON report to this file")
+		oracleFlag  = flag.Bool("oracle", false, "arm the abstract-state soundness oracle in the -bench-json campaign (measures its overhead)")
+		cacheFlag   = flag.Bool("cache", true, "memoize verifier verdicts in the -bench-json campaign (the committed baselines are cached)")
+		baseline    = flag.String("bench-baseline", "", "committed BENCH_*.json to compare against; >20% iters/sec regression fails the run")
+		mutateBatch = flag.Int("mutate-batch", 0, "sibling-batch size of the mutation scheduler (0 = default, 1 = classic one-mutant picks)")
+		minHitRate  = flag.Float64("min-hit-rate", 0, "fail the -bench-json run when the whole-program cache hit rate is below this fraction")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -78,7 +80,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *budget, *oracleFlag, *cacheFlag, *baseline); err != nil {
+		if err := runBenchJSON(*benchJSON, *budget, *oracleFlag, *cacheFlag, *baseline, *mutateBatch, *minHitRate); err != nil {
 			fmt.Fprintf(os.Stderr, "bvf-bench: %v\n", err)
 			return 1
 		}
@@ -159,18 +161,27 @@ type BenchReport struct {
 	Oracle              bool `json:"oracle"`
 	SoundnessChecks     int  `json:"soundness_checks,omitempty"`
 	SoundnessViolations int  `json:"soundness_violations,omitempty"`
-	// Cache fields are zero unless -cache armed the verdict cache.
-	Cached            bool  `json:"cached"`
-	CacheHits         int64 `json:"cache_hits,omitempty"`
-	CacheMisses       int64 `json:"cache_misses,omitempty"`
-	CachePrefixHits   int64 `json:"cache_prefix_hits,omitempty"`
-	CachePrefixMisses int64 `json:"cache_prefix_misses,omitempty"`
+	// Cache fields are zero unless -cache armed the verdict cache. The
+	// two rates are derived (hits/(hits+misses)) so reports are
+	// comparable at a glance without recomputing them.
+	Cached             bool    `json:"cached"`
+	CacheHits          int64   `json:"cache_hits,omitempty"`
+	CacheMisses        int64   `json:"cache_misses,omitempty"`
+	CacheHitRate       float64 `json:"cache_hit_rate,omitempty"`
+	CachePrefixHits    int64   `json:"cache_prefix_hits,omitempty"`
+	CachePrefixMisses  int64   `json:"cache_prefix_misses,omitempty"`
+	CachePrefixHitRate float64 `json:"cache_prefix_hit_rate,omitempty"`
+	// Mutation-scheduler shape: the configured sibling-batch size and
+	// the batch/sibling counts the campaign actually recorded.
+	MutateBatch    int `json:"mutate_batch"`
+	MutateBatches  int `json:"mutate_batches,omitempty"`
+	MutateSiblings int `json:"mutate_siblings,omitempty"`
 }
 
 // buildReport assembles the BenchReport from one finished campaign. The
 // stage map always contains an "other" entry making stage_seconds sum to
 // seconds exactly (see TestBenchReportStagesSumToSeconds).
-func buildReport(st *core.Stats, elapsed time.Duration, allocs, bytes uint64, oracle, cached bool) BenchReport {
+func buildReport(st *core.Stats, elapsed time.Duration, allocs, bytes uint64, oracle, cached bool, batch int) BenchReport {
 	rep := BenchReport{
 		Tool:          st.Tool,
 		Version:       st.Version.String(),
@@ -195,6 +206,16 @@ func buildReport(st *core.Stats, elapsed time.Duration, allocs, bytes uint64, or
 		CacheMisses:       st.CacheMisses,
 		CachePrefixHits:   st.CachePrefixHits,
 		CachePrefixMisses: st.CachePrefixMisses,
+
+		MutateBatch:    batch,
+		MutateBatches:  st.MutateBatches,
+		MutateSiblings: st.MutateSiblings,
+	}
+	if lk := rep.CacheHits + rep.CacheMisses; lk > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(lk)
+	}
+	if lk := rep.CachePrefixHits + rep.CachePrefixMisses; lk > 0 {
+		rep.CachePrefixHitRate = float64(rep.CachePrefixHits) / float64(lk)
 	}
 	accounted := 0.0
 	for stage, ns := range st.StageNanos {
@@ -220,7 +241,7 @@ func buildReport(st *core.Stats, elapsed time.Duration, allocs, bytes uint64, or
 // to path. Allocations are measured as the runtime's Mallocs/TotalAlloc
 // delta across the campaign, so the number covers the whole pipeline
 // (generate, verify, sanitize, execute, triage), not just the verifier.
-func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath string) error {
+func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath string, mutateBatch int, minHitRate float64) error {
 	iters := budget
 	if iters <= 0 {
 		iters = 3000
@@ -228,6 +249,7 @@ func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath str
 	cfg := core.CampaignConfig{
 		Source: core.BVFSource(true), Version: kernel.BPFNext,
 		Sanitize: true, Seed: 7, NoMinimize: true, Oracle: oracle,
+		MutateBatch: mutateBatch,
 	}
 	if cached {
 		cfg.Cache = vcache.NewStore(0)
@@ -245,7 +267,7 @@ func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath str
 	}
 	rep := buildReport(st, elapsed,
 		after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc,
-		oracle, cached)
+		oracle, cached, c.MutateBatch())
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -261,13 +283,14 @@ func runBenchJSON(path string, budget int, oracle, cached bool, baselinePath str
 			rep.SoundnessChecks, rep.SoundnessViolations, rep.StageSeconds["oracle"])
 	}
 	if cached {
-		lookups := rep.CacheHits + rep.CacheMisses
-		share := 0.0
-		if lookups > 0 {
-			share = float64(rep.CacheHits) / float64(lookups)
-		}
-		fmt.Printf("bench: verdict cache %d/%d hits (%.1f%%), %d prefix hits\n",
-			rep.CacheHits, lookups, 100*share, rep.CachePrefixHits)
+		fmt.Printf("bench: verdict cache %d/%d hits (%.1f%%), prefix %d/%d (%.1f%%), batch %d (%d batches, %d siblings)\n",
+			rep.CacheHits, rep.CacheHits+rep.CacheMisses, 100*rep.CacheHitRate,
+			rep.CachePrefixHits, rep.CachePrefixHits+rep.CachePrefixMisses, 100*rep.CachePrefixHitRate,
+			rep.MutateBatch, rep.MutateBatches, rep.MutateSiblings)
+	}
+	if minHitRate > 0 && rep.CacheHitRate < minHitRate {
+		return fmt.Errorf("bench: whole-program cache hit rate %.1f%% is below the -min-hit-rate floor %.1f%%",
+			100*rep.CacheHitRate, 100*minHitRate)
 	}
 	if baselinePath != "" {
 		return checkBaseline(rep, baselinePath)

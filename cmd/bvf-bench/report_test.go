@@ -22,7 +22,7 @@ func TestBenchReportStagesSumToSeconds(t *testing.T) {
 	st.StageNanos["triage"] = int64(10 * time.Millisecond)
 	st.StageNanos["cache"] = int64(2 * time.Millisecond)
 
-	rep := buildReport(st, 200*time.Millisecond, 1_000_000, 64_000_000, false, true)
+	rep := buildReport(st, 200*time.Millisecond, 1_000_000, 64_000_000, false, true, 8)
 
 	other, ok := rep.StageSeconds["other"]
 	if !ok {
@@ -48,7 +48,7 @@ func TestBenchReportStageOvershootClamped(t *testing.T) {
 	st.StageNanos["gen"] = int64(60 * time.Millisecond)
 	st.StageNanos["verify"] = int64(60 * time.Millisecond)
 
-	rep := buildReport(st, 100*time.Millisecond, 1000, 1000, false, false)
+	rep := buildReport(st, 100*time.Millisecond, 1000, 1000, false, false, 1)
 
 	if rep.StageSeconds["other"] != 0 {
 		t.Errorf("other = %v, want 0 when stages overshoot", rep.StageSeconds["other"])
@@ -74,10 +74,21 @@ func TestBenchReportCacheCounters(t *testing.T) {
 	st.CacheMisses = 3
 	st.CachePrefixHits = 2
 	st.CachePrefixMisses = 1
+	st.MutateBatches = 4
+	st.MutateSiblings = 32
 
-	rep := buildReport(st, time.Second, 0, 0, false, true)
+	rep := buildReport(st, time.Second, 0, 0, false, true, 8)
 	if !rep.Cached || rep.CacheHits != 7 || rep.CacheMisses != 3 ||
 		rep.CachePrefixHits != 2 || rep.CachePrefixMisses != 1 {
 		t.Errorf("cache fields not propagated: %+v", rep)
+	}
+	if rep.CacheHitRate != 0.7 {
+		t.Errorf("cache_hit_rate = %v, want 0.7", rep.CacheHitRate)
+	}
+	if math.Abs(rep.CachePrefixHitRate-2.0/3.0) > 1e-12 {
+		t.Errorf("cache_prefix_hit_rate = %v, want 2/3", rep.CachePrefixHitRate)
+	}
+	if rep.MutateBatch != 8 || rep.MutateBatches != 4 || rep.MutateSiblings != 32 {
+		t.Errorf("mutation-scheduler fields not propagated: %+v", rep)
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	bvf [-version bpf-next|v6.1|v5.15] [-iters N] [-seed N] [-workers N]
-//	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-nosanitize] [-v]
+//	    [-tool bvf|syzkaller|buzzer|buzzer-random] [-mutate-batch K]
+//	    [-nosanitize] [-v]
 //	    [-checkpoint FILE] [-checkpoint-every N] [-resume]
 //	    [-supervise] [-max-restarts N] [-watchdog D]
 //	    [-triage] [-findings-dir DIR] [-oracle] [-cache]
@@ -85,6 +86,7 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "campaign seed")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel campaign shards")
 		tool        = flag.String("tool", "bvf", "generator: bvf, syzkaller, buzzer, buzzer-random")
+		mutateBatch = flag.Int("mutate-batch", 0, "sibling-batch size of the mutation scheduler (0 = default, 1 = classic one-mutant picks)")
 		noSan       = flag.Bool("nosanitize", false, "disable the BVF sanitation patches")
 		verbose     = flag.Bool("v", false, "print reproducer programs for each bug")
 
@@ -217,7 +219,8 @@ func run() int {
 	c := core.NewParallelCampaign(core.ParallelConfig{
 		CampaignConfig: core.CampaignConfig{
 			Source: src, Version: version, Sanitize: sanitize,
-			Seed: *seed, MutateBias: mutate, Oracle: *oracleFlag,
+			Seed: *seed, MutateBias: mutate, MutateBatch: *mutateBatch,
+			Oracle: *oracleFlag,
 			Supervision: core.SupervisorConfig{
 				Enabled:       *supervise,
 				MaxRestarts:   *maxRst,
@@ -283,11 +286,20 @@ func run() int {
 		fmt.Printf("oracle:           %d claims checked, %d violation(s)\n",
 			st.SoundnessChecks, st.SoundnessViolations)
 	}
+	if st.MutateBatches > 0 {
+		fmt.Printf("mutation batches: %d (%d siblings, %.1f avg batch)\n",
+			st.MutateBatches, st.MutateSiblings,
+			float64(st.MutateSiblings)/float64(st.MutateBatches))
+	}
 	if st.CacheHits+st.CacheMisses > 0 {
-		fmt.Printf("verdict cache:    %d hits / %d lookups (%.1f%%), %d prefix hits, ~%s inserted\n",
+		prefixRate := 0.0
+		if st.CachePrefixHits+st.CachePrefixMisses > 0 {
+			prefixRate = float64(st.CachePrefixHits) / float64(st.CachePrefixHits+st.CachePrefixMisses)
+		}
+		fmt.Printf("verdict cache:    %d hits / %d lookups (%.1f%%), %d prefix hits (%.1f%%), ~%s inserted\n",
 			st.CacheHits, st.CacheHits+st.CacheMisses,
 			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses),
-			st.CachePrefixHits, humanBytes(st.CacheInsertedBytes))
+			st.CachePrefixHits, 100*prefixRate, humanBytes(st.CacheInsertedBytes))
 	}
 	fmt.Printf("bugs found:       %d (%d verifier correctness, %d manifestations)\n\n",
 		len(st.BugIDs()), st.VerifierBugsFound(), len(st.Bugs))

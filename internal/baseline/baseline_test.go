@@ -19,6 +19,11 @@ func campaign(t *testing.T, src core.ProgramSource, sanitize bool, iters int) *c
 	}
 	c := core.NewCampaign(core.CampaignConfig{
 		Source: src, Version: kernel.BPFNext, Sanitize: sanitize, Seed: 3, MutateBias: mutate,
+		// Unbatched schedule: these tests compare generator acceptance
+		// and coverage against the paper's §6.3/Table 3 numbers, and
+		// sibling batching deliberately reweights the generate/mutate
+		// mix away from that methodology.
+		MutateBatch: 1,
 	})
 	st, err := c.Run(iters)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/coverage"
+	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/vcache"
 )
@@ -66,6 +67,15 @@ type CampaignState struct {
 	Corpus []CorpusEntry
 	// Novel is the pending cross-shard exchange queue.
 	Novel []NovelProgram
+	// BatchParent/BatchLeft capture an in-flight sibling batch of the
+	// mutation scheduler: the parent program and how many siblings it
+	// still owes, so a resumed shard finishes the batch identically.
+	// BatchPinned is the parent's pinned corpus index plus one (0 = no
+	// pin), keeping pre-batching checkpoints — where gob leaves the
+	// field zero — decoding as "nothing pinned".
+	BatchParent *isa.Program
+	BatchLeft   int
+	BatchPinned int
 }
 
 // Snapshot is the serialized state of a ParallelCampaign, written at
@@ -145,11 +155,14 @@ func (s *Stats) normalize() {
 // between Run calls (at a round barrier for parallel shards).
 func (c *Campaign) exportState() *CampaignState {
 	return &CampaignState{
-		Seed:   c.src.seed,
-		Draws:  c.src.draws,
-		Stats:  c.stats,
-		Corpus: c.corpus.Export(),
-		Novel:  c.novel,
+		Seed:        c.src.seed,
+		Draws:       c.src.draws,
+		Stats:       c.stats,
+		Corpus:      c.corpus.Export(),
+		Novel:       c.novel,
+		BatchParent: c.batchProg,
+		BatchLeft:   c.batchLeft,
+		BatchPinned: c.corpus.pinned + 1,
 	}
 }
 
@@ -167,6 +180,15 @@ func (c *Campaign) restoreState(st *CampaignState) {
 	}
 	c.corpus.Import(st.Corpus)
 	c.novel = st.Novel
+	// Re-arm the in-flight sibling batch (Import reset the pin).
+	c.batchProg = st.BatchParent
+	c.batchLeft = st.BatchLeft
+	if c.batchProg == nil {
+		c.batchLeft = 0
+	}
+	if pin := st.BatchPinned - 1; pin >= 0 && pin < c.corpus.Len() {
+		c.corpus.pinned = pin
+	}
 	c.k = nil
 	c.pool = nil
 }

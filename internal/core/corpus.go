@@ -19,11 +19,17 @@ type Corpus struct {
 	// weights bias selection toward higher-novelty entries.
 	weights []int
 	total   int
+	// pinned is the index of the entry protected from FIFO eviction, -1
+	// when none. The sibling-batch scheduler pins its current parent:
+	// a mid-batch Add must not evict the program that is actively
+	// seeding mutants (and whose continued presence checkpointed resumes
+	// rely on for identical eviction decisions).
+	pinned int
 }
 
 // NewCorpus returns a corpus bounded to max entries (oldest evicted).
 func NewCorpus(max int) *Corpus {
-	return &Corpus{max: max}
+	return &Corpus{max: max, pinned: -1}
 }
 
 // Len returns the number of stored programs.
@@ -38,14 +44,31 @@ func (c *Corpus) Add(p *isa.Program, novelty int) {
 	if novelty < 1 {
 		novelty = 1
 	}
-	if len(c.progs) >= c.max {
-		c.total -= c.weights[0]
+	// The loop drains any temporary overflow left by a pinned max-1
+	// corpus once the pin is released.
+	for len(c.progs) >= c.max {
+		evict := 0
+		if evict == c.pinned {
+			// The oldest entry is an in-flight batch parent; evict the
+			// next-oldest instead of the program actively seeding mutants.
+			evict = 1
+		}
+		if evict >= len(c.progs) {
+			// The only evictable entry is pinned (max 1); the corpus
+			// exceeds max by one entry until Unpin rather than dropping
+			// the batch parent.
+			break
+		}
+		c.total -= c.weights[evict]
 		n := len(c.progs)
-		copy(c.progs, c.progs[1:])
+		copy(c.progs[evict:], c.progs[evict+1:])
 		c.progs[n-1] = nil // release the evicted program for GC
 		c.progs = c.progs[:n-1]
-		copy(c.weights, c.weights[1:])
+		copy(c.weights[evict:], c.weights[evict+1:])
 		c.weights = c.weights[:n-1]
+		if c.pinned > evict {
+			c.pinned--
+		}
 	}
 	c.progs = append(c.progs, p.Clone())
 	c.weights = append(c.weights, novelty)
@@ -57,14 +80,34 @@ func (c *Corpus) Pick(r *rand.Rand) *isa.Program {
 	if len(c.progs) == 0 {
 		return nil
 	}
+	return c.progs[c.pick(r)]
+}
+
+// PickPinned picks like Pick and additionally pins the chosen entry
+// against eviction until Unpin: the sibling-batch scheduler's parent
+// must survive any corpus additions made while its batch is in flight.
+// Only one entry is pinned at a time; a new pin replaces the old one.
+func (c *Corpus) PickPinned(r *rand.Rand) *isa.Program {
+	if len(c.progs) == 0 {
+		return nil
+	}
+	c.pinned = c.pick(r)
+	return c.progs[c.pinned]
+}
+
+// Unpin lifts the eviction protection installed by PickPinned.
+func (c *Corpus) Unpin() { c.pinned = -1 }
+
+// pick draws a weighted-random index. Callers check for emptiness.
+func (c *Corpus) pick(r *rand.Rand) int {
 	n := r.Intn(c.total)
 	for i, w := range c.weights {
 		if n < w {
-			return c.progs[i]
+			return i
 		}
 		n -= w
 	}
-	return c.progs[len(c.progs)-1]
+	return len(c.progs) - 1
 }
 
 // CorpusEntry is one exported corpus program with its selection weight,
@@ -92,6 +135,7 @@ func (c *Corpus) Import(entries []CorpusEntry) {
 	c.progs = c.progs[:0]
 	c.weights = c.weights[:0]
 	c.total = 0
+	c.pinned = -1 // restoreState re-pins from the serialized batch state
 	for _, e := range entries {
 		if e.Prog == nil {
 			continue

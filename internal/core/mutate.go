@@ -10,25 +10,40 @@ import (
 // returns the mutant (the original is never modified). The operators
 // mirror §4.1's description: immediate tweaks, and duplication of
 // adjacent instructions to simulate unrolled loops.
+//
+// The parent is cloned once up front and the in-place operators work on
+// that clone directly; only a mutation that produced an invalid program
+// pays for a re-clone. Sibling-batch scheduling calls Mutate once per
+// sibling against a pinned parent, so a batch of K siblings costs K
+// clones, not K×attempts.
 func Mutate(r *rand.Rand, p *isa.Program) *isa.Program {
+	q := p.Clone()
 	for attempt := 0; attempt < 4; attempt++ {
-		q := p.Clone()
+		var m *isa.Program
 		var ok bool
 		switch r.Intn(4) {
 		case 0:
-			ok = mutateImm(r, q)
+			m, ok = q, mutateImm(r, q)
 		case 1:
-			q, ok = mutateDup(r, q)
+			// Duplication builds its own program (InsertAt copies and
+			// patches jumps), straight from the parent: q stays pristine.
+			m, ok = mutateDup(r, p)
 		case 2:
-			ok = mutateStoreValue(r, q)
+			m, ok = q, mutateStoreValue(r, q)
 		case 3:
-			ok = mutateAttach(r, q)
+			m, ok = q, mutateAttach(r, q)
 		}
-		if ok && q.Validate(isa.MaxInsns) == nil {
-			return q
+		if !ok {
+			continue
+		}
+		if m.Validate(isa.MaxInsns) == nil {
+			return m
+		}
+		if m == q {
+			q = p.Clone() // undo an in-place mutation that went invalid
 		}
 	}
-	return p.Clone()
+	return q
 }
 
 // mutateImm perturbs the immediate of one ALU or store instruction.

@@ -332,6 +332,9 @@ func (p *ParallelCampaign) rebuildShard(i int) {
 	nc.stats.ShardRestarts++
 	nc.corpus = old.corpus
 	nc.novel = old.novel
+	// The crashed shard's in-flight sibling batch dies with its RNG
+	// trajectory; lift the parent pin so it does not outlive the batch.
+	nc.corpus.Unpin()
 	p.shards[i] = nc
 }
 
@@ -560,8 +563,13 @@ func (p *ParallelCampaign) startReporter() func() {
 				}
 				cacheShare := ""
 				if p.cfg.SharedCache != nil {
-					cacheShare = fmt.Sprintf("  cache %.0f%%",
-						100*p.cfg.SharedCache.HitRate())
+					// Whole-program and prefix-resume hit shares, side by
+					// side: the first says how often verification was skipped
+					// outright, the second how often it resumed mid-trace.
+					cnt := p.cfg.SharedCache.CounterSnapshot()
+					cacheShare = fmt.Sprintf("  cache %.0f%%/%.0f%%",
+						100*hitShare(cnt.Hits, cnt.Misses),
+						100*hitShare(cnt.PrefixHits, cnt.PrefixMisses))
 				}
 				fmt.Fprintf(p.cfg.Progress,
 					"[%8s] %d iters  %.0f/s  accept %.1f%%  coverage %d  bugs %d%s%s\n",
@@ -571,6 +579,14 @@ func (p *ParallelCampaign) startReporter() func() {
 		}
 	}()
 	return func() { once.Do(func() { close(done) }) }
+}
+
+// hitShare returns hits/(hits+misses), 0 when there were no lookups.
+func hitShare(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func remaining(quota []int) bool {

@@ -71,6 +71,13 @@ type Stats struct {
 	UnattributedSamples []BugRecord
 	// CorpusSize is the final corpus size (coverage-novel programs).
 	CorpusSize int
+	// MutateBatches counts corpus-parent picks by the mutation scheduler
+	// (each starts a sibling batch; size 1 degenerates to classic
+	// one-mutant-per-pick scheduling) and MutateSiblings counts the
+	// mutants those batches emitted, so MutateSiblings/MutateBatches is
+	// the effective batch size the reporter and bench reports show.
+	MutateBatches  int
+	MutateSiblings int
 	// InsnClassMix counts generated instructions by class, for the
 	// Buzzer comparison ("88.4%+ instructions are ALU and JMP").
 	InsnClassMix map[string]int
@@ -214,6 +221,8 @@ func (s *Stats) Merge(other *Stats) {
 	s.Iterations += other.Iterations
 	s.Accepted += other.Accepted
 	s.CorpusSize += other.CorpusSize
+	s.MutateBatches += other.MutateBatches
+	s.MutateSiblings += other.MutateSiblings
 	for k, v := range other.ErrnoHist {
 		s.ErrnoHist[k] += v
 	}

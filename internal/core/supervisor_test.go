@@ -180,8 +180,12 @@ func TestExecWatchdog(t *testing.T) {
 		Kind: faultinject.Delay, Every: 1, Delay: 10 * time.Millisecond,
 	})
 
+	// MutateBatch 1: classic scheduling. A 20-iteration budget can land
+	// entirely inside one sibling batch of a rejected parent, leaving no
+	// accepted program for the watchdog to trip on.
 	c := NewCampaign(CampaignConfig{
 		Source: BVFSource(true), Version: kernel.BPFNext, Sanitize: true, Seed: 7,
+		MutateBatch: 1,
 		Supervision: SupervisorConfig{Enabled: true, ExecTimeout: 5 * time.Millisecond},
 	})
 	st, err := c.Run(20)

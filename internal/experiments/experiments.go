@@ -88,6 +88,14 @@ func runCampaign(tool Tool, v kernel.Version, seed int64, iters int) (*core.Stat
 		Seed:        seed,
 		MutateBias:  tool.MutateBias,
 		Supervision: campaignSupervision,
+		// The paper's tools schedule one mutant per corpus pick; the
+		// sibling-batch scheduler reweights the generate/mutate mix
+		// (one bias draw now yields a whole batch), which shifts
+		// acceptance rates and per-iteration coverage away from the
+		// §6.3/Table 3 methodology. Paper-comparison experiments pin
+		// the unbatched schedule; the scheduler's own numbers live in
+		// EXPERIMENTS.md "Cache-locality scheduling" and BENCH_6.json.
+		MutateBatch: 1,
 	}
 	if campaignWorkers > 1 {
 		c := core.NewParallelCampaign(core.ParallelConfig{

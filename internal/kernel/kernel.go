@@ -7,6 +7,7 @@
 package kernel
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -108,6 +109,10 @@ type Config struct {
 	// calls (and across kernel recycles — entries rebind map FDs on every
 	// hit). Triage re-verification always bypasses it.
 	Cache verifier.Cache
+	// CacheNanos forwards verifier.Config.CacheNanos: cache-layer wall
+	// clock accumulated separately so campaigns can book it as its own
+	// pipeline stage.
+	CacheNanos *int64
 }
 
 // Kernel is one simulated kernel instance.
@@ -137,7 +142,31 @@ type Kernel struct {
 	OracleChecks     int
 	OracleViolations int
 	OracleNanos      int64
+
+	// sanMemo memoizes sanitizer.Instrument per original-program identity
+	// (verifier.Result.CacheFP/CacheCanon, set only on the cacheable
+	// verify path). Instrument is a pure function of the verified program
+	// and its range checks, and within one kernel the verified program is
+	// a pure function of the original program and the map-address layout —
+	// so the memo is flushed whenever that layout can change (CreateMap,
+	// Reset). Sibling-batch mutation replays near-identical programs
+	// back-to-back; without the memo every verdict-cache hit still paid a
+	// full re-instrumentation.
+	sanMemo map[uint64]*sanEntry
 }
+
+// sanEntry is one memoized instrumentation: the original program's
+// canonical bytes (the collision guard) and the shared, immutable
+// instrumented program and stats.
+type sanEntry struct {
+	canon []byte
+	exec  *isa.Program
+	stats *sanitizer.Stats
+}
+
+// sanMemoCap bounds the memo; overflowing drops it wholesale (the memo is
+// an optimization for tight sibling batches, not a long-term store).
+const sanMemoCap = 4096
 
 // LoadedProg is a successfully verified (and possibly sanitized) program.
 type LoadedProg struct {
@@ -189,6 +218,7 @@ func (k *Kernel) Reset() {
 	k.M.Reset()
 	k.progs = make(map[int32]*LoadedProg)
 	k.nextFD = 100
+	k.sanMemo = nil
 	k.dispatcherProg = nil
 	k.dispatcherUpdates = 0
 }
@@ -206,9 +236,41 @@ func (k *Kernel) SetProgArraySlot(mapFD int32, idx uint32, progFD int32) error {
 	return m.SetProg(idx, progFD)
 }
 
-// CreateMap creates a map and returns its fd.
+// CreateMap creates a map and returns its fd. Creating a map can change
+// the address layout instrumented programs embed, so the sanitizer memo
+// is flushed.
 func (k *Kernel) CreateMap(spec maps.Spec) (int32, error) {
+	k.sanMemo = nil
 	return k.M.CreateMap(spec)
+}
+
+// sanLookup returns the memoized instrumentation for res's original
+// program, or nil. The canonical-byte compare makes fingerprint
+// collisions a memo miss, never a wrong program.
+func (k *Kernel) sanLookup(res *verifier.Result) *sanEntry {
+	if res.CacheCanon == nil {
+		return nil
+	}
+	e := k.sanMemo[res.CacheFP]
+	if e != nil && bytes.Equal(e.canon, res.CacheCanon) {
+		return e
+	}
+	return nil
+}
+
+// sanStore memoizes one instrumentation outcome keyed by the original
+// program's verdict-cache identity.
+func (k *Kernel) sanStore(res *verifier.Result, exec *isa.Program, stats *sanitizer.Stats) {
+	if res.CacheCanon == nil {
+		return
+	}
+	if len(k.sanMemo) >= sanMemoCap {
+		k.sanMemo = nil
+	}
+	if k.sanMemo == nil {
+		k.sanMemo = make(map[uint64]*sanEntry)
+	}
+	k.sanMemo[res.CacheFP] = &sanEntry{canon: res.CacheCanon, exec: exec, stats: stats}
 }
 
 // MapByFD resolves a map fd.
@@ -232,6 +294,7 @@ func (k *Kernel) VerifierConfig() *verifier.Config {
 		Timeout:          k.Cfg.VerifyTimeout,
 		RecordStates:     k.Cfg.Oracle,
 		Cache:            k.Cfg.Cache,
+		CacheNanos:       k.Cfg.CacheNanos,
 	}
 	return &k.vcfg
 }
@@ -255,12 +318,18 @@ func (k *Kernel) LoadProgram(p *isa.Program) (*LoadedProg, error) {
 	}
 	lp := &LoadedProg{Orig: p, Verified: res.Prog, Exec: res.Prog, Res: res}
 	if k.Cfg.Sanitize {
-		san, stats, serr := sanitizer.Instrument(res.Prog, res.RangeChecks)
-		if serr != nil {
-			return nil, serr
+		if e := k.sanLookup(res); e != nil {
+			lp.Exec = e.exec
+			lp.SanStats = e.stats
+		} else {
+			san, stats, serr := sanitizer.Instrument(res.Prog, res.RangeChecks)
+			if serr != nil {
+				return nil, serr
+			}
+			lp.Exec = san
+			lp.SanStats = stats
+			k.sanStore(res, san, stats)
 		}
-		lp.Exec = san
-		lp.SanStats = stats
 	}
 	// Bug #8: the syscall duplicates the rewritten instructions back to
 	// user space with kmemdup, which fails for large programs.

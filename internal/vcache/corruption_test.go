@@ -59,7 +59,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		fp, canon, want := testVerdict(i)
-		got := dst.Lookup(fp, canon)
+		got := dst.LookupCanon(fp, canon)
 		if got == nil {
 			t.Fatalf("entry %d missing after round-trip", i)
 		}

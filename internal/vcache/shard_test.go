@@ -1,0 +1,93 @@
+package vcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/verifier"
+)
+
+// TestShardSecondSightAcrossPublish pins the cross-shard determinism of
+// the prefix second-sight filter: a prefix noted by one shard before a
+// publish barrier must read as "seen before" to every shard after the
+// barrier — that recurrence signal is what gates boundary-snapshot
+// capture, so losing it across shards would silently disable prefix
+// resume in parallel campaigns.
+func TestShardSecondSightAcrossPublish(t *testing.T) {
+	store := NewStore(0)
+	a, b := store.NewShard(), store.NewShard()
+	const fp = 0xfeedface
+
+	if a.NotePrefix(fp) {
+		t.Fatal("first sighting on shard A reported as recurrence")
+	}
+	// Same round, same shard: the pending note makes it a recurrence
+	// locally even before the barrier.
+	if !a.NotePrefix(fp) {
+		t.Fatal("second sighting on shard A not visible through pendingSeen")
+	}
+	// Same round, different shard: pending notes are shard-private by
+	// design (mid-round cross-shard visibility would make lookups depend
+	// on sibling timing). Shard B notes it independently.
+	if b.NotePrefix(fp) {
+		t.Fatal("shard B saw shard A's unpublished note mid-round")
+	}
+
+	// Barrier: coordinator publishes in shard-index order.
+	a.Publish()
+	b.Publish()
+
+	// Next round: the note is global, both shards see the recurrence, and
+	// a third shard created after the barrier does too.
+	c := store.NewShard()
+	for name, sh := range map[string]*Shard{"A": a, "B": b, "C": c} {
+		if !sh.NotePrefix(fp) {
+			t.Errorf("shard %s does not see the published prefix note", name)
+		}
+	}
+}
+
+// TestShardNotePrefixConcurrentRounds drives many shards through
+// concurrent rounds of NotePrefix/Insert with barrier publishes between
+// them, under -race. Within a round shards only read the frozen store
+// (plus their own pending state), so this must be data-race-free, and
+// after K rounds every fingerprint noted in round 1 must read as a
+// recurrence on every shard.
+func TestShardNotePrefixConcurrentRounds(t *testing.T) {
+	store := NewStore(0)
+	const shards = 8
+	const perShard = 64
+	shs := make([]*Shard, shards)
+	for i := range shs {
+		shs[i] = store.NewShard()
+	}
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for i, sh := range shs {
+			wg.Add(1)
+			go func(i int, sh *Shard) {
+				defer wg.Done()
+				for j := 0; j < perShard; j++ {
+					// Overlapping fingerprints across shards: every shard
+					// notes its own range plus a shared range.
+					own := uint64(i*perShard + j)
+					shared := uint64(1 << 32)
+					sh.NotePrefix(own)
+					sh.NotePrefix(shared + uint64(j))
+					sh.Insert(own, &verifier.CachedVerdict{Prog: []byte{byte(i), byte(j)}})
+				}
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, sh := range shs {
+			sh.Publish()
+		}
+	}
+	for i, sh := range shs {
+		for j := 0; j < perShard; j++ {
+			if !sh.NotePrefix(uint64(1<<32 + j)) {
+				t.Fatalf("shard %d lost the shared prefix note %d after publishes", i, j)
+			}
+		}
+	}
+}

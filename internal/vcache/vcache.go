@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/isa"
 	"repro/internal/verifier"
 )
 
@@ -80,8 +81,8 @@ func NewStore(capacity int) *Store {
 var _ verifier.Cache = (*Store)(nil)
 
 // Lookup implements verifier.Cache.
-func (s *Store) Lookup(fp uint64, canon []byte) *verifier.CachedVerdict {
-	v := s.lookupNoCount(fp, canon)
+func (s *Store) Lookup(fp uint64, p *isa.Program) *verifier.CachedVerdict {
+	v := s.lookupNoCount(fp, p)
 	if v != nil {
 		s.hits.Add(1)
 	} else {
@@ -90,11 +91,27 @@ func (s *Store) Lookup(fp uint64, canon []byte) *verifier.CachedVerdict {
 	return v
 }
 
-func (s *Store) lookupNoCount(fp uint64, canon []byte) *verifier.CachedVerdict {
+// LookupCanon is Lookup keyed by pre-built canonical bytes instead of a
+// live program — the form checkpoint round-trip tests use, since they
+// exercise the store with synthetic entries that have no program behind
+// them.
+func (s *Store) LookupCanon(fp uint64, canon []byte) *verifier.CachedVerdict {
 	s.mu.RLock()
 	v := s.entries[fp]
 	s.mu.RUnlock()
 	if v != nil && bytes.Equal(v.Prog, canon) {
+		s.hits.Add(1)
+		return v
+	}
+	s.misses.Add(1)
+	return nil
+}
+
+func (s *Store) lookupNoCount(fp uint64, p *isa.Program) *verifier.CachedVerdict {
+	s.mu.RLock()
+	v := s.entries[fp]
+	s.mu.RUnlock()
+	if v != nil && verifier.MatchCanonical(v.Prog, p) {
 		return v
 	}
 	return nil
@@ -304,10 +321,10 @@ func (s *Store) NewShard() *Shard {
 }
 
 // Lookup implements verifier.Cache: pending first, then the shared store.
-func (sh *Shard) Lookup(fp uint64, canon []byte) *verifier.CachedVerdict {
+func (sh *Shard) Lookup(fp uint64, p *isa.Program) *verifier.CachedVerdict {
 	v := sh.pending[fp]
-	if v == nil || !bytes.Equal(v.Prog, canon) {
-		v = sh.store.lookupNoCount(fp, canon)
+	if v == nil || !verifier.MatchCanonical(v.Prog, p) {
+		v = sh.store.lookupNoCount(fp, p)
 	}
 	if v != nil {
 		sh.local.Hits++

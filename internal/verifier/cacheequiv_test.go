@@ -199,5 +199,27 @@ func FuzzVerifyCacheEquivalence(f *testing.F) {
 		if cnt := store.CounterSnapshot(); cnt.Misses != 1 {
 			t.Errorf("cold+warm runs recorded %d misses, want 1 (hits %d)", cnt.Misses, cnt.Hits)
 		}
+
+		// Sibling legs, modeling the batch mutation scheduler: derive two
+		// mutants that differ from the parent only in the last
+		// instruction's immediate, and verify them against the store the
+		// parent warmed. Sibling 1's run is the trace prefix's second
+		// sighting (the boundary snapshot is captured); sibling 2's run
+		// resumes from that snapshot — so this leg exercises
+		// applyPrefixSnapshot/rebindState against a scratch verification
+		// of the identical program.
+		for delta := int32(1); delta <= 2; delta++ {
+			sib := prog.Clone()
+			last := &sib.Insns[len(sib.Insns)-1]
+			last.Imm ^= delta
+			sibScratch := runVerify(k, sib, nil)
+			if errors.As(sibScratch.err, &te) {
+				continue
+			}
+			sibCached := runVerify(k, sib, store)
+			if d := diffVerdicts(sibScratch, sibCached); d != "" {
+				t.Errorf("sibling %d (imm^%d) cached run diverges from scratch: %s", delta, delta, d)
+			}
+		}
 	})
 }

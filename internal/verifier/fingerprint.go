@@ -56,12 +56,20 @@ func CanonicalProgramBytes(p *isa.Program) []byte {
 	return appendInsnBytes(out, p.Insns)
 }
 
-// canonicalPrefixBytes serializes the verification-relevant identity of
-// the linear prefix insns[0:n]: program attributes that shape the entry
-// state and helper availability (type, attach target, license — the name
-// never influences verification) plus the prefix instructions.
-func canonicalPrefixBytes(p *isa.Program, n int) []byte {
-	out := make([]byte, 0, 12+len(p.AttachTo)+17*n)
+// canonicalTraceBytes serializes the verification-relevant identity of a
+// forced execution trace: program attributes that shape the entry state
+// and helper availability (type, attach target, license — the name never
+// influences verification), then each executed instruction with its pc,
+// then the boundary pc. The pcs matter, not just the instruction bytes:
+// jump targets go through slot arithmetic over the *unexecuted* insns
+// between them, and the prune snapshots a trace run records are keyed by
+// pc — two programs whose traces execute identical bytes at different
+// positions must not share a snapshot. The boundary pc is included for
+// the same reason: when the last executed instruction is a jump, call,
+// or subframe exit, where the resumed exploration continues depends on
+// slot layout the executed bytes alone do not pin.
+func canonicalTraceBytes(p *isa.Program, pcs []int32, end int) []byte {
+	out := make([]byte, 0, 16+len(p.AttachTo)+22*len(pcs))
 	out = append(out, byte(p.Type))
 	if p.GPLCompatible {
 		out = append(out, 1)
@@ -69,7 +77,12 @@ func canonicalPrefixBytes(p *isa.Program, n int) []byte {
 		out = append(out, 0)
 	}
 	out = appendString(out, p.AttachTo)
-	return appendInsnBytes(out, p.Insns[:n])
+	out = appendU32(out, uint32(len(pcs)))
+	for _, pc := range pcs {
+		out = appendU32(out, uint32(pc))
+		out = appendOneInsn(out, &p.Insns[pc])
+	}
+	return appendU32(out, uint32(end))
 }
 
 func appendString(out []byte, s string) []byte {
@@ -89,33 +102,57 @@ func appendU64(out []byte, v uint64) []byte {
 func appendInsnBytes(out []byte, insns []isa.Instruction) []byte {
 	out = appendU32(out, uint32(len(insns)))
 	for i := range insns {
-		ins := &insns[i]
-		out = append(out, ins.Opcode, ins.Dst, ins.Src)
-		out = append(out, byte(ins.Off), byte(uint16(ins.Off)>>8))
-		out = appendU32(out, uint32(ins.Imm))
-		out = appendU64(out, ins.Imm64)
-		var meta byte
-		if ins.Meta.RewriteEmitted {
-			meta |= 1
-		}
-		if ins.Meta.Sanitized {
-			meta |= 2
-		}
-		if ins.Meta.ProbeMem {
-			meta |= 4
-		}
-		out = append(out, meta)
+		out = appendOneInsn(out, &insns[i])
 	}
 	return out
 }
 
-// prefixFingerprint computes fpBytes(canonicalPrefixBytes(p, n)) without
-// materializing the canonical bytes — the first sighting of a prefix
-// hashes it allocation-free, and only recurring prefixes (which the cache
-// will actually store or look up) build the byte form. The two functions
-// must fold the identical byte sequence; TestPrefixFingerprintStreaming
-// pins that.
-func prefixFingerprint(p *isa.Program, n int) uint64 {
+// insnMetaByte packs the Meta provenance flags into one canonical byte.
+func insnMetaByte(ins *isa.Instruction) byte {
+	var meta byte
+	if ins.Meta.RewriteEmitted {
+		meta |= 1
+	}
+	if ins.Meta.Sanitized {
+		meta |= 2
+	}
+	if ins.Meta.ProbeMem {
+		meta |= 4
+	}
+	return meta
+}
+
+// appendOneInsn appends one instruction's canonical bytes:
+// opcode/dst/src, little-endian off, imm, imm64, then the meta byte.
+func appendOneInsn(out []byte, ins *isa.Instruction) []byte {
+	out = append(out, ins.Opcode, ins.Dst, ins.Src)
+	out = append(out, byte(ins.Off), byte(uint16(ins.Off)>>8))
+	out = appendU32(out, uint32(ins.Imm))
+	out = appendU64(out, ins.Imm64)
+	return append(out, insnMetaByte(ins))
+}
+
+// fpInsn folds one instruction's canonical bytes into a running FNV-1a
+// hash, mirroring appendOneInsn byte for byte.
+func fpInsn(h uint64, ins *isa.Instruction) uint64 {
+	h = fpByte(h, ins.Opcode)
+	h = fpByte(h, ins.Dst)
+	h = fpByte(h, ins.Src)
+	h = fpByte(h, byte(ins.Off))
+	h = fpByte(h, byte(uint16(ins.Off)>>8))
+	h = fpU32(h, uint32(ins.Imm))
+	h = fpU32(h, uint32(ins.Imm64))
+	h = fpU32(h, uint32(ins.Imm64>>32))
+	return fpByte(h, insnMetaByte(ins))
+}
+
+// traceFingerprint computes fpBytes(canonicalTraceBytes(p, pcs, end))
+// without materializing the canonical bytes — the first sighting of a
+// trace hashes it allocation-free, and only recurring traces (which the
+// cache will actually store or look up) build the byte form. The two
+// functions must fold the identical byte sequence;
+// TestTraceFingerprintStreaming pins that.
+func traceFingerprint(p *isa.Program, pcs []int32, end int) uint64 {
 	h := uint64(fpOffset64)
 	h = fpByte(h, byte(p.Type))
 	if p.GPLCompatible {
@@ -127,30 +164,12 @@ func prefixFingerprint(p *isa.Program, n int) uint64 {
 	for i := 0; i < len(p.AttachTo); i++ {
 		h = fpByte(h, p.AttachTo[i])
 	}
-	h = fpU32(h, uint32(n))
-	for i := 0; i < n; i++ {
-		ins := &p.Insns[i]
-		h = fpByte(h, ins.Opcode)
-		h = fpByte(h, ins.Dst)
-		h = fpByte(h, ins.Src)
-		h = fpByte(h, byte(ins.Off))
-		h = fpByte(h, byte(uint16(ins.Off)>>8))
-		h = fpU32(h, uint32(ins.Imm))
-		h = fpU32(h, uint32(ins.Imm64))
-		h = fpU32(h, uint32(ins.Imm64>>32))
-		var meta byte
-		if ins.Meta.RewriteEmitted {
-			meta |= 1
-		}
-		if ins.Meta.Sanitized {
-			meta |= 2
-		}
-		if ins.Meta.ProbeMem {
-			meta |= 4
-		}
-		h = fpByte(h, meta)
+	h = fpU32(h, uint32(len(pcs)))
+	for _, pc := range pcs {
+		h = fpU32(h, uint32(pc))
+		h = fpInsn(h, &p.Insns[pc])
 	}
-	return h
+	return fpU32(h, uint32(end))
 }
 
 // fpByte folds one byte into an FNV-1a running hash.
@@ -179,37 +198,186 @@ func fpBytes(b []byte) uint64 {
 	return h
 }
 
-// ProgramFingerprint returns the 64-bit verdict-cache key for p.
-func ProgramFingerprint(p *isa.Program) uint64 {
-	return fpBytes(CanonicalProgramBytes(p))
+// fpStr folds a length-prefixed string word-wise into an xor-multiply
+// running hash (the length prefix keeps "ab"+"c" and "a"+"bc" apart).
+func fpStr(h uint64, s string) uint64 {
+	h = fpMix(h, uint64(len(s)))
+	for len(s) >= 8 {
+		h = fpMix(h, uint64(s[0])|uint64(s[1])<<8|uint64(s[2])<<16|uint64(s[3])<<24|
+			uint64(s[4])<<32|uint64(s[5])<<40|uint64(s[6])<<48|uint64(s[7])<<56)
+		s = s[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(s); i++ {
+		tail |= uint64(s[i]) << (8 * i)
+	}
+	return fpMix(h, tail)
 }
 
-// stateFingerprint folds the rigid structure of s into 64 bits.
-func stateFingerprint(s *State) uint64 {
+// ProgramFingerprint returns the 64-bit verdict-cache key for p. It folds
+// exactly the fields CanonicalProgramBytes serializes, but word-at-a-time
+// (three xor-multiply steps per instruction instead of eighteen byte
+// folds) and without materializing the canonical bytes — the fingerprint
+// is computed on every Verify call, hit or miss, so it must be cheap and
+// allocation-free. It is an independent hash, not fpBytes over the
+// canonical form; the only consistency requirement is that Lookup and
+// Insert key with the same function, and a collision degrades to a miss
+// because entries are compared against the program exactly
+// (MatchCanonical).
+func ProgramFingerprint(p *isa.Program) uint64 {
+	h := uint64(fpOffset64)
+	var gpl uint64
+	if p.GPLCompatible {
+		gpl = 1
+	}
+	h = fpMix(h, uint64(p.Type)<<1|gpl)
+	h = fpStr(h, p.Name)
+	h = fpStr(h, p.AttachTo)
+	h = fpMix(h, uint64(len(p.Insns)))
+	for i := range p.Insns {
+		ins := &p.Insns[i]
+		h = fpMix(h, uint64(ins.Opcode)|uint64(ins.Dst)<<8|uint64(ins.Src)<<16|
+			uint64(uint16(ins.Off))<<24|uint64(insnMetaByte(ins))<<40)
+		h = fpMix(h, uint64(uint32(ins.Imm)))
+		h = fpMix(h, ins.Imm64)
+	}
+	return h
+}
+
+// MatchCanonical reports whether canon is exactly CanonicalProgramBytes(p),
+// decoding field-by-field instead of materializing p's byte form — the
+// verdict-cache hit path compares a stored entry against a live program
+// without allocating. Must mirror CanonicalProgramBytes/appendOneInsn
+// byte for byte; TestMatchCanonical pins that.
+func MatchCanonical(canon []byte, p *isa.Program) bool {
+	want := 2 + 4 + len(p.Name) + 4 + len(p.AttachTo) + 4 + 18*len(p.Insns)
+	if len(canon) != want {
+		return false
+	}
+	var gpl byte
+	if p.GPLCompatible {
+		gpl = 1
+	}
+	if canon[0] != byte(p.Type) || canon[1] != gpl {
+		return false
+	}
+	b := canon[2:]
+	for _, s := range []string{p.Name, p.AttachTo} {
+		if u32At(b) != uint32(len(s)) || string(b[4:4+len(s)]) != s {
+			return false
+		}
+		b = b[4+len(s):]
+	}
+	if u32At(b) != uint32(len(p.Insns)) {
+		return false
+	}
+	b = b[4:]
+	for i := range p.Insns {
+		ins := &p.Insns[i]
+		if b[0] != ins.Opcode || b[1] != ins.Dst || b[2] != ins.Src ||
+			b[3] != byte(ins.Off) || b[4] != byte(uint16(ins.Off)>>8) ||
+			u32At(b[5:]) != uint32(ins.Imm) ||
+			uint64(u32At(b[9:]))|uint64(u32At(b[13:]))<<32 != ins.Imm64 ||
+			b[17] != insnMetaByte(ins) {
+			return false
+		}
+		b = b[18:]
+	}
+	return true
+}
+
+// u32At decodes appendU32's little-endian byte order.
+func u32At(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// regFPContrib folds one register's rigid identity, keyed by its
+// (frame, register) position, into a single 64-bit contribution. The
+// state fingerprint is the XOR of these contributions combined with the
+// cheap structural base (stateFPBase). XOR composition is what makes
+// the cache incremental: rewriting one register replaces exactly one
+// term, so pruneOrRecord refreshes only the registers the interpreter
+// dirtied since the previous prune comparison.
+func regFPContrib(fi, r int, reg *RegState) uint64 {
+	h := fpMix(fpOffset64, uint64(fi)<<8|uint64(r))
+	h = fpMix(h, uint64(reg.Type))
+	switch reg.Type {
+	case PtrToStack, PtrToCtx, PtrToPacket:
+		h = fpMix(h, uint64(int64(reg.Off)))
+	case PtrToMapValue:
+		h = fpMix(h, reg.Map.KernAddr)
+		h = fpMix(h, uint64(int64(reg.Off)))
+	case ConstPtrToMap:
+		h = fpMix(h, reg.Map.KernAddr)
+	case PtrToBTFID:
+		h = fpMix(h, uint64(int64(reg.BTF)))
+		h = fpMix(h, uint64(int64(reg.Off)))
+	case PtrToMem:
+		h = fpMix(h, uint64(int64(reg.Off)))
+		h = fpMix(h, uint64(reg.MemSize))
+	}
+	return h
+}
+
+// stateFPBase folds the frame/reference structure: frame count, ref
+// count, per-frame call sites. O(frames), recomputed on every
+// fingerprint read — tracking it incrementally would cost more than the
+// walk.
+func stateFPBase(s *State) uint64 {
 	h := uint64(fpOffset64)
 	h = fpMix(h, uint64(len(s.Frames)))
 	h = fpMix(h, uint64(len(s.Refs)))
 	for _, f := range s.Frames {
 		h = fpMix(h, uint64(int64(f.CallSite)))
-		for r := range f.Regs {
-			reg := &f.Regs[r]
-			h = fpMix(h, uint64(reg.Type))
-			switch reg.Type {
-			case PtrToStack, PtrToCtx, PtrToPacket:
-				h = fpMix(h, uint64(int64(reg.Off)))
-			case PtrToMapValue:
-				h = fpMix(h, reg.Map.KernAddr)
-				h = fpMix(h, uint64(int64(reg.Off)))
-			case ConstPtrToMap:
-				h = fpMix(h, reg.Map.KernAddr)
-			case PtrToBTFID:
-				h = fpMix(h, uint64(int64(reg.BTF)))
-				h = fpMix(h, uint64(int64(reg.Off)))
-			case PtrToMem:
-				h = fpMix(h, uint64(int64(reg.Off)))
-				h = fpMix(h, uint64(reg.MemSize))
-			}
-		}
 	}
 	return h
+}
+
+// stateFingerprint folds the rigid structure of s into 64 bits,
+// refreshing the per-register contribution cache sparsely: a state with
+// a valid cache and a clean dirty mask costs O(frames); a dirty state
+// recomputes only the dirtied current-frame registers. Frame pushes and
+// pops invalidate the whole cache (State.fpInvalidate), so dirty bits
+// always refer to the frame that was current when they were set.
+func stateFingerprint(s *State) uint64 {
+	if !s.fpOK {
+		x := uint64(0)
+		for fi, f := range s.Frames {
+			for r := range f.Regs {
+				c := regFPContrib(fi, r, &f.Regs[r])
+				f.fpc[r] = c
+				x ^= c
+			}
+		}
+		s.fpXor = x
+		s.fpOK = true
+		s.fpDirty = 0
+	} else if s.fpDirty != 0 {
+		fi := len(s.Frames) - 1
+		f := s.Frames[fi]
+		for r := 0; r < isa.NumReg; r++ {
+			if s.fpDirty&(1<<r) == 0 {
+				continue
+			}
+			c := regFPContrib(fi, r, &f.Regs[r])
+			s.fpXor ^= f.fpc[r] ^ c
+			f.fpc[r] = c
+		}
+		s.fpDirty = 0
+	}
+	return fpMix(stateFPBase(s), s.fpXor)
+}
+
+// stateFingerprintFresh is the cache-free reference implementation:
+// a full walk that neither reads nor writes the contribution caches.
+// The fpAudit cross-check (pruneOrRecord) and the incremental-soundness
+// tests compare it against stateFingerprint.
+func stateFingerprintFresh(s *State) uint64 {
+	x := uint64(0)
+	for fi, f := range s.Frames {
+		for r := range f.Regs {
+			x ^= regFPContrib(fi, r, &f.Regs[r])
+		}
+	}
+	return fpMix(stateFPBase(s), x)
 }

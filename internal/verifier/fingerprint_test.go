@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/asm"
+	"repro/internal/bugs"
 	"repro/internal/isa"
 )
 
@@ -84,6 +86,54 @@ func TestProgramFingerprintFieldSensitivity(t *testing.T) {
 	}
 }
 
+// TestMatchCanonical pins the field-wise decode against the byte builder:
+// MatchCanonical(CanonicalProgramBytes(p), p) must hold for arbitrary
+// programs, and every single-field perturbation (same set as the
+// fingerprint sensitivity test) must break the match — the hit path's
+// collision guard compares programs without materializing their bytes,
+// so a lane the decoder skipped would turn a fingerprint collision into
+// a wrong verdict.
+func TestMatchCanonical(t *testing.T) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		p := fpTestProgram(seed, int(seed))
+		if !MatchCanonical(CanonicalProgramBytes(p), p) {
+			t.Fatalf("seed %d: program does not match its own canonical bytes", seed)
+		}
+	}
+	base := fpTestProgram(7, 6)
+	canon := CanonicalProgramBytes(base)
+	mutations := map[string]func(*isa.Program){
+		"type":           func(p *isa.Program) { p.Type++ },
+		"gpl":            func(p *isa.Program) { p.GPLCompatible = !p.GPLCompatible },
+		"name":           func(p *isa.Program) { p.Name = "fp-test2" },
+		"attach":         func(p *isa.Program) { p.AttachTo = "sys_exit" },
+		"opcode":         func(p *isa.Program) { p.Insns[2].Opcode ^= 0x01 },
+		"dst":            func(p *isa.Program) { p.Insns[2].Dst ^= 1 },
+		"src":            func(p *isa.Program) { p.Insns[2].Src ^= 1 },
+		"off-low-byte":   func(p *isa.Program) { p.Insns[2].Off ^= 0x0001 },
+		"off-high-byte":  func(p *isa.Program) { p.Insns[2].Off ^= 0x0100 },
+		"imm-low-byte":   func(p *isa.Program) { p.Insns[2].Imm ^= 0x00000001 },
+		"imm-high-byte":  func(p *isa.Program) { p.Insns[2].Imm ^= 0x01000000 },
+		"imm64-low":      func(p *isa.Program) { p.Insns[2].Imm64 ^= 1 },
+		"imm64-high":     func(p *isa.Program) { p.Insns[2].Imm64 ^= 1 << 40 },
+		"meta-rewrite":   func(p *isa.Program) { p.Insns[2].Meta.RewriteEmitted = true },
+		"meta-sanitized": func(p *isa.Program) { p.Insns[2].Meta.Sanitized = true },
+		"meta-probemem":  func(p *isa.Program) { p.Insns[2].Meta.ProbeMem = true },
+		"append-insn":    func(p *isa.Program) { p.Insns = append(p.Insns, isa.Instruction{Opcode: 0x95}) },
+		"drop-last-insn": func(p *isa.Program) { p.Insns = p.Insns[:len(p.Insns)-1] },
+	}
+	for name, mutate := range mutations {
+		q := cloneProgram(base)
+		mutate(q)
+		if MatchCanonical(canon, q) {
+			t.Errorf("%s: mutated program still matches the base canonical bytes", name)
+		}
+		if !MatchCanonical(CanonicalProgramBytes(q), q) {
+			t.Errorf("%s: mutated program does not match its own canonical bytes", name)
+		}
+	}
+}
+
 // TestProgramFingerprintDeterministic pins that the fingerprint is a pure
 // function of the program value, and identical for clones.
 func TestProgramFingerprintDeterministic(t *testing.T) {
@@ -106,19 +156,87 @@ func TestCanonicalProgramBytesStringBoundaries(t *testing.T) {
 	}
 }
 
-// TestPrefixFingerprintStreaming pins that the allocation-free streaming
-// prefix hash folds exactly the bytes canonicalPrefixBytes materializes —
+// TestTraceFingerprintStreaming pins that the allocation-free streaming
+// trace hash folds exactly the bytes canonicalTraceBytes materializes —
 // the two must never drift, or the recurrence filter and the snapshot
-// store would disagree about prefix identity.
-func TestPrefixFingerprintStreaming(t *testing.T) {
+// store would disagree about trace identity. The pc sequences are
+// arbitrary (the hash does not care that they came from a real control-
+// flow walk), including repeated and out-of-order pcs.
+func TestTraceFingerprintStreaming(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 42, 99, 12345} {
 		p := fpTestProgram(seed, 1+int(seed%14))
-		for n := 1; n <= len(p.Insns); n++ {
-			want := fpBytes(canonicalPrefixBytes(p, n))
-			if got := prefixFingerprint(p, n); got != want {
-				t.Fatalf("seed %d prefix %d: streaming fp %#x != canonical fp %#x", seed, n, got, want)
+		x := seed*2654435761 | 1
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		for trial := 0; trial < 8; trial++ {
+			pcs := make([]int32, next()%uint64(len(p.Insns)+1))
+			for i := range pcs {
+				pcs[i] = int32(next() % uint64(len(p.Insns)))
+			}
+			end := int(next() % uint64(len(p.Insns)+1))
+			want := fpBytes(canonicalTraceBytes(p, pcs, end))
+			if got := traceFingerprint(p, pcs, end); got != want {
+				t.Fatalf("seed %d trial %d: streaming fp %#x != canonical fp %#x", seed, trial, got, want)
 			}
 		}
+	}
+}
+
+// TestCanonicalTraceBytesPCSensitivity pins that the trace canon depends
+// on the executed pcs and the boundary pc, not just the instruction
+// bytes: the slot arithmetic behind jump targets and the pc-keyed prune
+// snapshots make two position-shifted traces semantically different even
+// when their instruction bytes match.
+func TestCanonicalTraceBytesPCSensitivity(t *testing.T) {
+	p := fpTestProgram(3, 8)
+	// Make two positions hold identical instructions.
+	p.Insns[5] = p.Insns[2]
+	a := canonicalTraceBytes(p, []int32{0, 1, 2}, 3)
+	b := canonicalTraceBytes(p, []int32{0, 1, 5}, 3)
+	if bytes.Equal(a, b) {
+		t.Fatal("trace canon ignores executed pcs")
+	}
+	c := canonicalTraceBytes(p, []int32{0, 1, 2}, 6)
+	if bytes.Equal(a, c) {
+		t.Fatal("trace canon ignores the boundary pc")
+	}
+}
+
+// TestStateFingerprintIncrementalAudit re-runs the entire selftest corpus
+// — helper and kfunc calls, bpf-to-bpf frames, null-check branches,
+// packet-range refinement, reference release, the armed-bug knobs — with
+// the fpAudit cross-check enabled. Every pruneOrRecord comparison then
+// recomputes the state fingerprint from scratch and panics if the sparse
+// per-register contribution cache drifted from it, which is exactly the
+// failure mode of a register write site missing its touchReg marking.
+func TestStateFingerprintIncrementalAudit(t *testing.T) {
+	fpAudit = true
+	defer func() { fpAudit = false }()
+	for _, tc := range selftests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			prog.Type = tc.progType
+			if prog.Type == isa.ProgTypeUnspec {
+				prog.Type = isa.ProgTypeSocketFilter
+			}
+			prog.AttachTo = tc.attachTo
+			prog.GPLCompatible = !tc.nonGPL
+			b := tc.bugs
+			if b == nil {
+				b = bugs.None()
+			}
+			cfg, done := selftestKernel(t, b)
+			defer done()
+			// The verdict is pinned by TestVerifierSelftests; here only the
+			// audit inside pruneOrRecord matters, and it panics on drift.
+			_, _ = Verify(prog, cfg)
+		})
 	}
 }
 

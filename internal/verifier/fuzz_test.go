@@ -35,6 +35,12 @@ func FuzzVerifyNoPanic(f *testing.F) {
 	f.Add(uint8(0), []byte{0x07, 0x01, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff})
 
 	k := newBenchKernel()
+	// Arm the incremental-fingerprint audit: every prune comparison
+	// cross-checks the sparse cache against a scratch recomputation, so a
+	// register write site missing its touchReg marking panics here instead
+	// of silently weakening (or unsoundly skewing) prune fingerprints.
+	fpAudit = true
+	f.Cleanup(func() { fpAudit = false })
 	f.Fuzz(func(t *testing.T, progType uint8, data []byte) {
 		var insns []isa.Instruction
 		for len(data) > 0 && len(insns) < isa.MaxInsns {

@@ -93,11 +93,19 @@ type Config struct {
 	// register at every simulated instruction, which the pooled zero-alloc
 	// hot path must not pay for.
 	RecordStates bool
-	// Cache, when non-nil, memoizes whole-program verdicts and linear-
+	// Cache, when non-nil, memoizes whole-program verdicts and trace-
 	// prefix boundary snapshots across Verify calls (see cache.go). It is
 	// consulted only when the run is cacheable: LogLevel 0, RecordStates
 	// off (the oracle must never see replayed claims), coverage on.
 	Cache Cache
+	// CacheNanos, when non-nil, accumulates the wall-clock nanoseconds
+	// Verify spends in the cache layer (fingerprinting, lookup, hit
+	// materialization, entry construction and insert) as opposed to
+	// actual verification. Campaigns subtract it from the "verify" stage
+	// clock and book it as the "cache" stage, so stage shares separate
+	// verification work from memoization bookkeeping. Written from the
+	// Verify goroutine only.
+	CacheNanos *int64
 }
 
 // TimeoutError reports that a verification exceeded its wall-clock
@@ -156,6 +164,12 @@ type Result struct {
 	States *StateTable
 	// Log is the verifier log (LogLevel > 0).
 	Log string
+	// CacheFP/CacheCanon identify the *original* program in verdict-cache
+	// terms (ProgramFingerprint / CanonicalProgramBytes), set only on the
+	// cacheable path. Downstream per-kernel memoizations (the kernel's
+	// sanitizer memo) key on them instead of recomputing the identity.
+	CacheFP    uint64
+	CacheCanon []byte
 }
 
 // ReturnBounds is the exit-value belief union.
@@ -247,6 +261,12 @@ type env struct {
 	// usedMaps is published in Result.UsedMaps and therefore never pooled.
 	// Membership is a linear scan (programs reference a handful of maps).
 	usedMaps []*maps.Map
+
+	// tracePCs / traceSeen are the trace-prefix builder's scratch
+	// (cache.go tracePrefix); reinitialized inside the builder, not in
+	// getEnv, so cache-off verifications never pay for them.
+	tracePCs  []int32
+	traceSeen []bool
 
 	// lcov is the per-verification coverage recorder (nil when coverage is
 	// off). It is unsynchronized; Verify flushes it into cfg.Cov exactly
@@ -383,24 +403,44 @@ func Verify(prog *isa.Program, cfg *Config) (*Result, error) {
 	if !cacheable(cfg) {
 		return verify(prog, cfg, nil)
 	}
-	canon := CanonicalProgramBytes(prog)
-	fp := fpBytes(canon)
-	if v := cfg.Cache.Lookup(fp, canon); v != nil {
+	t0 := time.Now()
+	fp := ProgramFingerprint(prog)
+	if v := cfg.Cache.Lookup(fp, prog); v != nil {
 		if res, err, ok := v.materialize(prog, cfg); ok {
+			if res != nil {
+				// Share the entry's stored canonical bytes: the hit
+				// path never materializes them itself.
+				res.CacheFP, res.CacheCanon = fp, v.Prog
+			}
+			addCacheNanos(cfg, time.Since(t0))
 			return res, err
 		}
 	}
+	cacheSpent := time.Since(t0)
 	var capture []coverage.SiteCount
 	res, err := verify(prog, cfg, &capture)
+	t1 := time.Now()
+	canon := CanonicalProgramBytes(prog)
 	if v := newCachedVerdict(canon, res, err, capture); v != nil {
 		cfg.Cache.Insert(fp, v)
 	}
+	if res != nil {
+		res.CacheFP, res.CacheCanon = fp, canon
+	}
+	addCacheNanos(cfg, cacheSpent+time.Since(t1))
 	return res, err
+}
+
+// addCacheNanos books cache-layer wall clock into Config.CacheNanos.
+func addCacheNanos(cfg *Config, d time.Duration) {
+	if cfg.CacheNanos != nil {
+		*cfg.CacheNanos += int64(d)
+	}
 }
 
 // verify is the scratch verification path. capture, when non-nil, marks a
 // cache-miss run: the final coverage profile is exported into it for the
-// verdict-cache entry, and the linear-prefix snapshot path is active.
+// verdict-cache entry, and the trace-prefix snapshot path is active.
 func verify(prog *isa.Program, cfg *Config, capture *[]coverage.SiteCount) (*Result, error) {
 	if cfg.MaxInsnProcessed == 0 {
 		cfg.MaxInsnProcessed = 100000
@@ -441,8 +481,8 @@ func verify(prog *isa.Program, cfg *Config, capture *[]coverage.SiteCount) (*Res
 	st := e.newInitialStatePooled()
 	if capture != nil {
 		// Incremental path (cache-miss runs only): resume from the shared
-		// linear-prefix snapshot, or simulate the prefix once and publish
-		// it. A prefix rejection is the whole program's rejection.
+		// trace-prefix snapshot, or simulate the trace once and publish
+		// it. A trace rejection is the whole program's rejection.
 		var err error
 		if st, err = e.prefixPrepass(st); err != nil {
 			return nil, err
@@ -607,6 +647,14 @@ type snapshot struct {
 // errInfiniteLoop distinguishes a cycle hit from an ordinary prune.
 var errInfiniteLoop = errors.New("infinite loop")
 
+// fpAudit, when set, makes pruneOrRecord cross-check the incremental
+// state fingerprint against the cache-free reference walk on every
+// prune comparison and panic on drift. A missed touchReg at a register
+// write site would silently desynchronize the two; the audit turns that
+// into a loud failure. Enabled by the fingerprint soundness tests and
+// the FuzzVerifyNoPanic harness, never in production campaigns.
+var fpAudit bool
+
 // pruneOrRecord consults the visited states at insn idx. It returns
 // (true, nil) when the state is subsumed by a previously explored one
 // (prune), (false, error) when the subsuming snapshot is an ancestor of
@@ -615,6 +663,11 @@ var errInfiniteLoop = errors.New("infinite loop")
 // and returns (false, nil).
 func (e *env) pruneOrRecord(idx int, st *State) (bool, error) {
 	fp := stateFingerprint(st)
+	if fpAudit {
+		if fresh := stateFingerprintFresh(st); fresh != fp {
+			panic(fmt.Sprintf("verifier: fingerprint cache drift at insn %d: incremental %#x fresh %#x", idx, fp, fresh))
+		}
+	}
 	for _, old := range e.visited[idx] {
 		// stateSubsumes(old, new) implies fp(old) == fp(new) (the
 		// fingerprint folds only fields the deep compare requires to be
@@ -691,6 +744,7 @@ func (e *env) checkLDImm(st *State, i int, ins isa.Instruction) error {
 	if err := e.checkRegWrite(st, i, ins.Dst); err != nil {
 		return err
 	}
+	st.touchReg(ins.Dst)
 	dst := st.Reg(ins.Dst)
 	switch ins.Src {
 	case 0:
